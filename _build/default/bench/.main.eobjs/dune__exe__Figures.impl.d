@@ -1,0 +1,1 @@
+bench/figures.ml: Cachesim Comm Compilers Core Exec Harness Ir List Machine Printf Sir String Suite Zap

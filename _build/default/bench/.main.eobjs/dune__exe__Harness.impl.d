@@ -1,0 +1,1 @@
+bench/harness.ml: Cachesim Comm Compilers Exec Machine Printf String

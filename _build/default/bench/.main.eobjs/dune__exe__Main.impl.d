@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Compilers Core Figures Harness Hashtbl Ir List Measure Printf Staged String Suite Support Sys Test Time Toolkit

@@ -1,0 +1,91 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation, plus ablations and wall-clock measurements of
+   the optimizer itself.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig6    -- one table/figure
+     (fig6 fig7 fig8 fig9 fig10 fig11 sec55 ablate speed)          *)
+
+let optimizer_speed () =
+  Harness.heading
+    "Optimizer wall-clock (Bechamel): the paper claims O(re) fusion \
+     and effectively-linear FIND-LOOP-STRUCTURE";
+  let open Bechamel in
+  let tomcatv = Suite.load "tomcatv" in
+  let block =
+    match Ir.Prog.blocks tomcatv with
+    | _ :: big :: _ -> big
+    | [ b ] -> b
+    | [] -> failwith "tomcatv has no blocks"
+  in
+  let g = Core.Asdg.build block in
+  let candidates = List.map fst (Ir.Prog.confined_arrays tomcatv) in
+  let udvs =
+    List.init 64 (fun i ->
+        Support.Vec.of_list [ (i mod 3) - 1; (i mod 5) - 2 ])
+  in
+  let tests =
+    [
+      Test.make ~name:"asdg-build (tomcatv block)"
+        (Staged.stage (fun () -> ignore (Core.Asdg.build block)));
+      Test.make ~name:"fusion-for-contraction"
+        (Staged.stage (fun () ->
+             ignore (Core.Fusion.for_contraction ~candidates g)));
+      Test.make ~name:"find-loop-structure (64 UDVs)"
+        (Staged.stage (fun () ->
+             ignore (Core.Loopstruct.find ~rank:2 udvs)));
+      Test.make ~name:"full compile tomcatv @ c2+f3"
+        (Staged.stage (fun () ->
+             ignore
+               (Compilers.Driver.compile ~level:Compilers.Driver.C2F3 tomcatv)));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
+      in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-36s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "%-36s (no estimate)\n" name)
+        stats)
+    tests
+
+let sections =
+  [
+    ("fig6", Figures.fig6);
+    ("fig7", Figures.fig7);
+    ("fig8", Figures.fig8);
+    ("fig9", Figures.fig9);
+    ("fig10", Figures.fig10);
+    ("fig11", Figures.fig11);
+    ("sec55", Figures.sec55);
+    ("ablate", Figures.ablate);
+    ("speed", optimizer_speed);
+  ]
+
+let () =
+  let args =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
+  in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) sections
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown section %s (have: %s)\n" name
+                (String.concat " " (List.map fst sections));
+              exit 1)
+        names

@@ -1,0 +1,233 @@
+(* zapc — the zap array-language compiler driver.
+
+   Compiles a zap program (a file, or a built-in benchmark via
+   --bench), applies the requested optimization level, and can dump
+   the array IR, the fusion/contraction plan, or the generated scalar
+   code; run the program through the instrumented interpreter; and
+   report modeled performance on one of the paper's machines. *)
+
+open Cmdliner
+
+let read_program bench file config tile =
+  match (bench, file) with
+  | Some name, None -> (
+      match Suite.by_name name with
+      | Some b -> Suite.program ?tile ~config b
+      | None ->
+          Printf.eprintf "unknown benchmark %S (have: %s)\n" name
+            (String.concat ", " (List.map (fun b -> b.Suite.name) Suite.all));
+          exit 2)
+  | None, Some path ->
+      let config =
+        match tile with Some t -> ("n", float_of_int t) :: config | None -> config
+      in
+      Zap.Elaborate.compile_file ~config path
+  | Some _, Some _ ->
+      prerr_endline "give either a file or --bench, not both";
+      exit 2
+  | None, None ->
+      prerr_endline "nothing to compile: give a file or --bench NAME";
+      exit 2
+
+let parse_config kvs =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | Some i ->
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          (k, float_of_string v)
+      | None ->
+          Printf.eprintf "bad --config %S (want name=value)\n" kv;
+          exit 2)
+    kvs
+
+let dump_plan (c : Compilers.Driver.compiled) =
+  List.iteri
+    (fun i (bp : Sir.Scalarize.block_plan) ->
+      Format.printf "--- block %d ---@." i;
+      Format.printf "%a@." Core.Partition.pp bp.Sir.Scalarize.partition;
+      List.iter
+        (fun (x, shape) ->
+          Format.printf "contract %s%s@." x
+            (match shape with
+            | Core.Contraction.Scalar -> " -> scalar"
+            | Core.Contraction.Keep_dims keep ->
+                Printf.sprintf " -> dims kept: %s"
+                  (String.concat ","
+                     (List.filteri (fun _ k -> k) (Array.to_list keep)
+                     |> List.mapi (fun i _ -> string_of_int (i + 1))))))
+        bp.Sir.Scalarize.contracted;
+      List.iter
+        (fun (ri, rep) ->
+          Format.printf "reduction %d fused into cluster P%d@." ri rep)
+        bp.Sir.Scalarize.absorbed)
+    c.Compilers.Driver.plan
+
+let main bench file level config tile merge simplify dump_ir dump_plan_f
+    dump_c emit_c run machine procs =
+  let config = parse_config config in
+  let prog = read_program bench file config tile in
+  let prog =
+    if merge then begin
+      let prog', gone = Core.Merge.run prog in
+      if gone <> [] then
+        Printf.printf "statement merge eliminated: %s\n"
+          (String.concat ", " gone);
+      prog'
+    end
+    else prog
+  in
+  let level =
+    match Compilers.Driver.level_of_name level with
+    | Some l -> l
+    | None ->
+        Printf.eprintf "unknown level %S\n" level;
+        exit 2
+  in
+  let c = Compilers.Driver.compile ~level prog in
+  let c =
+    if simplify then
+      { c with Compilers.Driver.code = Sir.Simplify.program c.Compilers.Driver.code }
+    else c
+  in
+  if dump_ir then Format.printf "%a@." Ir.Prog.pp prog;
+  if dump_plan_f then dump_plan c;
+  if dump_c then Format.printf "%a@." Sir.Code.pp_c c.Compilers.Driver.code;
+  (match emit_c with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Sir.Emit_c.to_string c.Compilers.Driver.code);
+      close_out oc;
+      Printf.printf "wrote %s (compile with: cc -O2 %s -lm)\n" path path
+  | None -> ());
+  let nc, nu = Compilers.Driver.contracted_counts c in
+  Printf.printf
+    "%s @ %s: %d statements-of-arrays, contracted %d (%d compiler / %d \
+     user), %d allocations remain, %d bytes\n"
+    prog.Ir.Prog.name
+    (Compilers.Driver.level_name level)
+    (List.length prog.Ir.Prog.arrays)
+    (nc + nu) nc nu
+    (Compilers.Driver.remaining_arrays c)
+    (Exec.Interp.footprint_bytes c.Compilers.Driver.code);
+  if run then begin
+    let m =
+      match String.lowercase_ascii machine with
+      | "t3e" -> Machine.t3e
+      | "sp2" | "sp-2" -> Machine.sp2
+      | "paragon" -> Machine.paragon
+      | other ->
+          Printf.eprintf "unknown machine %S (t3e|sp2|paragon)\n" other;
+          exit 2
+    in
+    let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
+    let r = Comm.Perf.measure cfg c in
+    Printf.printf
+      "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
+      \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
+      \  messages %d (%d bytes)  checksum %s\n"
+      m.Machine.name procs
+      (r.Comm.Perf.time_ns /. 1e6)
+      (r.Comm.Perf.comp_ns /. 1e6)
+      (r.Comm.Perf.comm_ns /. 1e6)
+      r.Comm.Perf.flops r.Comm.Perf.loads r.Comm.Perf.stores
+      (100.0 *. Cachesim.Cache.miss_rate r.Comm.Perf.l1)
+      (match r.Comm.Perf.l2 with
+      | Some l2 ->
+          Printf.sprintf "  L2 miss %.2f%%"
+            (100.0 *. Cachesim.Cache.miss_rate l2)
+      | None -> "")
+      r.Comm.Perf.messages r.Comm.Perf.msg_bytes r.Comm.Perf.checksum
+  end
+
+let bench_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME" ~doc:"Compile a built-in benchmark.")
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.zap")
+
+let level_arg =
+  Arg.(
+    value & opt string "c2+f3"
+    & info [ "level"; "O" ] ~docv:"LEVEL"
+        ~doc:
+          "Optimization level: baseline, f1, c1, f2, f3, c2, c2+f3, \
+           c2+f4, or c2+p.")
+
+let config_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "config"; "c" ] ~docv:"NAME=VALUE"
+        ~doc:"Override a config constant (repeatable).")
+
+let tile_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tile" ] ~docv:"N" ~doc:"Override the tile-edge config constant.")
+
+let merge_arg =
+  Arg.(
+    value & flag
+    & info [ "merge" ]
+        ~doc:
+          "Run statement merge (array operation synthesis) before the            optimizer.")
+
+let simplify_arg =
+  Arg.(
+    value & flag
+    & info [ "simplify" ]
+        ~doc:
+          "Run the model scalar back end (constant folding + CSE) on the            generated code.")
+
+let dump_ir_arg =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the array-level IR.")
+
+let dump_plan_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-plan" ]
+        ~doc:"Print the fusion partition and contraction decisions.")
+
+let dump_c_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-c" ] ~doc:"Print the generated scalar code as C.")
+
+let emit_c_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-c" ] ~docv:"FILE.c"
+        ~doc:
+          "Write a complete, runnable C translation unit that prints the            result digest (the differential-test back end).")
+
+let run_arg =
+  Arg.(
+    value & flag
+    & info [ "run" ] ~doc:"Execute and report modeled performance.")
+
+let machine_arg =
+  Arg.(
+    value & opt string "t3e"
+    & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc:"t3e, sp2 or paragon.")
+
+let procs_arg =
+  Arg.(value & opt int 1 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
+
+let cmd =
+  let doc =
+    "array-level fusion and contraction compiler (PLDI'98 reproduction)"
+  in
+  Cmd.v
+    (Cmd.info "zapc" ~version:"1.0" ~doc)
+    Term.(
+      const main $ bench_arg $ file_arg $ level_arg $ config_arg $ tile_arg
+      $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg $ dump_c_arg
+      $ emit_c_arg $ run_arg $ machine_arg $ procs_arg)
+
+let () = exit (Cmd.eval cmd)

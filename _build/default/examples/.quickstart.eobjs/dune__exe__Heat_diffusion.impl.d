@@ -1,0 +1,1 @@
+examples/heat_diffusion.ml: Cachesim Comm Compilers Core Expr Format Ir List Machine Nstmt Prog Region Support

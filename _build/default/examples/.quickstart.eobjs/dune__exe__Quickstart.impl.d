@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compilers Exec Format Ir List Sir String Zap

@@ -1,0 +1,1 @@
+examples/tomcatv_explore.ml: Comm Compilers Core Format Ir List Machine Sir Suite Support

@@ -1,0 +1,1 @@
+examples/tomcatv_explore.mli:

@@ -1,0 +1,1 @@
+examples/tradeoff.ml: Compilers Core Format List String Suite

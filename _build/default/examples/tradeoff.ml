@@ -1,0 +1,24 @@
+(* The Figure 5 fragment (8) trade-off, end to end: a compiler that
+   contracts compiler temporaries separately (Cray-style) eliminates
+   one array where the integrated greedy strategy eliminates two.
+
+     dune exec examples/tradeoff.exe                                *)
+
+let () =
+  let frag =
+    List.find (fun f -> f.Suite.Fragments.id = 8) Suite.Fragments.all
+  in
+  print_endline frag.Suite.Fragments.source;
+  let prog, probe = Suite.Fragments.block frag in
+  Format.printf "probe block dependences:@.%a@.@."
+    Core.Asdg.pp
+    (Core.Asdg.build probe);
+  List.iter
+    (fun (caps : Compilers.Vendors.caps) ->
+      let r = Compilers.Vendors.optimize_block caps prog probe in
+      Format.printf "%-20s contracts {%s}: %s@."
+        caps.Compilers.Vendors.vname
+        (String.concat ", " r.Compilers.Vendors.contracted)
+        (if Suite.Fragments.passes frag r then "both user temporaries gone"
+         else "suboptimal"))
+    Compilers.Vendors.all

@@ -1,0 +1,51 @@
+(** Set-associative write-allocate LRU cache simulator.
+
+    Trace-driven: feed it the byte addresses produced by the
+    instrumented interpreter and read back hit/miss counts.  This is
+    the stand-in for the papers' machines' data caches — the paper's
+    runtime effects (temporal locality from fusion and contraction,
+    cache pollution from over-fusion) are all functions of this
+    model. *)
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;  (** power of two *)
+  assoc : int;  (** 1 = direct-mapped *)
+}
+
+val config_sets : config -> int
+(** Number of sets; raises [Invalid_argument] on inconsistent
+    geometry (size not divisible by line·assoc, line not a power of
+    two). *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+}
+
+type t
+
+val create : config -> t
+val access : t -> addr:int -> bool
+(** Touch one byte address; returns [true] on hit.  The whole
+    containing line is installed on miss (write-allocate). *)
+
+val stats : t -> stats
+val reset : t -> unit
+val miss_rate : stats -> float
+
+module Hierarchy : sig
+  (** Two-level hierarchy: accesses filter through L1; L1 misses go to
+      L2 (when present).  Inclusive, no prefetching — the 1998-era
+      machines modelled here had neither aggressive prefetch nor
+      victim buffers worth modelling. *)
+
+  type h
+
+  val create : l1:config -> ?l2:config -> unit -> h
+  val access : h -> addr:int -> write:bool -> unit
+  val l1_stats : h -> stats
+  val l2_stats : h -> stats option
+  val reset : h -> unit
+end

@@ -1,0 +1,1 @@
+lib/comm/dist.ml: Array Support

@@ -1,0 +1,1 @@
+lib/comm/interact.ml: Array Core Dist Expr Hashtbl Ir List Nstmt Prog Region Support

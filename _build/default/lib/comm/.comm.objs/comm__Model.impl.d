@@ -1,0 +1,1 @@
+lib/comm/model.ml: Array Compilers Core Dist Expr Hashtbl Ir List Machine Nstmt Prog Region Sir Support

@@ -1,0 +1,1 @@
+lib/comm/model.mli: Compilers Core Machine

@@ -1,0 +1,1 @@
+lib/comm/perf.ml: Cachesim Compilers Exec Machine Model

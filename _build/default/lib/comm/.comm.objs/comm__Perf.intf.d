@@ -1,0 +1,1 @@
+lib/comm/perf.mli: Cachesim Compilers Machine Model

@@ -1,0 +1,36 @@
+type t = {
+  procs : int;
+  per_dim : int array;
+}
+
+(* Greedily split [procs] into [rank] factors, largest dimension first;
+   procs is a product of small primes in all our experiments. *)
+let make ~rank ~procs =
+  if rank < 1 then invalid_arg "Dist.make: rank must be >= 1";
+  if procs < 1 then invalid_arg "Dist.make: procs must be >= 1";
+  let per_dim = Array.make rank 1 in
+  let remaining = ref procs in
+  let d = ref 0 in
+  while !remaining > 1 do
+    (* smallest prime factor *)
+    let rec spf k n = if n mod k = 0 then k else spf (k + 1) n in
+    let f = spf 2 !remaining in
+    per_dim.(!d mod rank) <- per_dim.(!d mod rank) * f;
+    remaining := !remaining / f;
+    incr d
+  done;
+  { procs; per_dim }
+
+let procs t = t.procs
+let per_dim t = Array.copy t.per_dim
+let dim_split t d = t.per_dim.(d - 1) > 1
+
+let remote_dir t off =
+  let rank = Array.length t.per_dim in
+  if Support.Vec.rank off <> rank then
+    invalid_arg "Dist.remote_dir: rank mismatch";
+  let dir =
+    Array.init rank (fun k ->
+        if t.per_dim.(k) > 1 && off.(k) <> 0 then compare off.(k) 0 else 0)
+  in
+  if Array.for_all (fun x -> x = 0) dir then None else Some dir

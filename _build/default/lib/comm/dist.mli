@@ -1,0 +1,29 @@
+(** Block distribution of arrays over a processor grid.
+
+    The paper assumes every dimension of every array is distributed
+    (§3).  Processors form a grid as square as possible; the
+    program's regions are interpreted as one processor's {e local}
+    block (the evaluation scales problem size with the machine, §5.4,
+    so per-processor extents are constant).  A reference at offset
+    [d] needs ghost values from the neighbor in direction
+    [sign(d)] exactly when some nonzero component of [d] lies in a
+    dimension split across more than one processor. *)
+
+type t
+
+val make : rank:int -> procs:int -> t
+(** Distribute [procs] processors over [rank] dimensions, most-
+    balanced first (e.g. 4 procs, rank 2 → 2×2; 8 → 4×2). *)
+
+val procs : t -> int
+val per_dim : t -> int array
+(** Processors along each dimension. *)
+
+val dim_split : t -> int -> bool
+(** [dim_split t d] — is dimension [d] (1-based) distributed across
+    more than one processor? *)
+
+val remote_dir : t -> Support.Vec.t -> int array option
+(** The neighbor direction (sign vector, restricted to split
+    dimensions) a reference offset requires ghosts from, or [None]
+    when the reference is entirely processor-local. *)

@@ -1,0 +1,54 @@
+open Ir
+
+let remote_readers ~procs stmts =
+  match stmts with
+  | [] -> []
+  | s0 :: _ ->
+      let rank = Region.rank s0.Nstmt.region in
+      let dist = Dist.make ~rank ~procs in
+      List.filteri (fun _ _ -> true) stmts
+      |> List.mapi (fun i s -> (i, s))
+      |> List.filter_map (fun (i, (s : Nstmt.t)) ->
+             let remote =
+               Region.rank s.region = rank
+               && List.exists
+                    (fun (_, off) -> Dist.remote_dir dist off <> None)
+                    (Expr.refs s.rhs)
+             in
+             if remote then Some i else None)
+
+(* Per-block dependence relatedness: related i j <=> a dependence path
+   connects them (in either direction). *)
+let relatedness stmts =
+  let g = Core.Asdg.build stmts in
+  let n = Core.Asdg.n g in
+  let edges = Core.Asdg.edges g in
+  let reach = Array.make_matrix n n false in
+  for s = 0 to n - 1 do
+    let r = Support.Toposort.reachable ~n ~edges ~from:[ s ] in
+    Array.iteri (fun t v -> if v then reach.(s).(t) <- true) r
+  done;
+  fun i j -> i = j || reach.(i).(j) || reach.(j).(i)
+
+let favor_comm_veto ~procs prog =
+  let blocks = Array.of_list (Prog.blocks prog) in
+  let cache = Hashtbl.create 8 in
+  let block_info bi =
+    match Hashtbl.find_opt cache bi with
+    | Some info -> info
+    | None ->
+        let stmts = blocks.(bi) in
+        let info = (remote_readers ~procs stmts, relatedness stmts) in
+        Hashtbl.add cache bi info;
+        info
+  in
+  fun ~block ss ->
+    if procs <= 1 then true
+    else begin
+      let remote, related = block_info block in
+      List.for_all
+        (fun s ->
+          (not (List.mem s remote))
+          || List.for_all (fun t -> related s t) ss)
+        ss
+    end

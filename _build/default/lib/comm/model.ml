@@ -1,0 +1,295 @@
+open Ir
+
+type opts = {
+  redundancy : bool;
+  combining : bool;
+  pipelining : bool;
+}
+
+let all_on = { redundancy = true; combining = true; pipelining = true }
+let vectorize_only = { redundancy = false; combining = false; pipelining = false }
+
+type summary = {
+  messages : int;
+  bytes : int;
+  raw_ns : float;
+  effective_ns : float;
+  reduction_ns : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Static compute cost of a cluster (for overlap windows)              *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_flops (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Svar _ | Expr.Ref _ | Expr.Idx _ -> 0
+  | Expr.Unop (_, a) -> 1 + expr_flops a
+  | Expr.Binop (_, a, b) -> 1 + expr_flops a + expr_flops b
+  | Expr.Select (c, a, b) -> 1 + expr_flops c + expr_flops a + expr_flops b
+
+let stmt_cost_ns ~(machine : Machine.t) (s : Nstmt.t) =
+  let vol = float_of_int (Region.volume s.region) in
+  let flops = float_of_int (expr_flops s.rhs) in
+  let refs = float_of_int (List.length (Expr.refs s.rhs) + 1) in
+  vol *. ((flops *. machine.Machine.flop_ns) +. (refs *. machine.Machine.l1_hit_ns))
+
+let cluster_cost_ns ~machine p rep =
+  let g = Core.Partition.asdg p in
+  List.fold_left
+    (fun acc i -> acc +. stmt_cost_ns ~machine (Core.Asdg.stmt g i))
+    0.0
+    (Core.Partition.members p rep)
+
+(* ------------------------------------------------------------------ *)
+(* Exchange events                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  array : string;
+  dir : int array;  (** neighbor direction (sign vector) *)
+  ebytes : int;
+  consumer : int;  (** cluster position in the block schedule *)
+  producer : int;  (** last earlier position writing the array; -1 = block entry *)
+}
+
+let ghost_bytes region dir (off : Support.Vec.t) =
+  let n = Region.rank region in
+  let elems = ref 1 in
+  for k = 1 to n do
+    let e =
+      if dir.(k - 1) = 0 then Region.extent region k
+      else abs (Support.Vec.get off k)
+    in
+    elems := !elems * max 1 e
+  done;
+  8 * !elems
+
+(* The schedule of one basic block: clusters in emission order, each
+   with the arrays it writes, its remote reads, and its compute cost. *)
+type sched_entry = {
+  writes : string list;
+  remote : (string * int array * int) list;  (** array, dir, bytes *)
+  cost : float;
+}
+
+let block_schedule ~machine ~dist (bp : Sir.Scalarize.block_plan) =
+  let p = bp.Sir.Scalarize.partition in
+  let g = Core.Partition.asdg p in
+  let contracted = List.map fst bp.Sir.Scalarize.contracted in
+  let order = Sir.Scalarize.cluster_order p in
+  List.map
+    (fun rep ->
+      let members = Core.Partition.members p rep in
+      let stmts = List.map (Core.Asdg.stmt g) members in
+      let writes =
+        List.filter
+          (fun x -> not (List.mem x contracted))
+          (List.map (fun (s : Nstmt.t) -> s.lhs) stmts)
+      in
+      let remote = ref [] in
+      List.iter
+        (fun (s : Nstmt.t) ->
+          List.iter
+            (fun (x, off) ->
+              if not (List.mem x contracted) then
+                match Dist.remote_dir dist off with
+                | None -> ()
+                | Some dir ->
+                    let b = ghost_bytes s.region dir off in
+                    let key (x', d', _) = (x', d') in
+                    let cur = !remote in
+                    let existing =
+                      List.find_opt (fun e -> key e = (x, dir)) cur
+                    in
+                    (match existing with
+                    | Some (_, _, b') when b' >= b -> ()
+                    | Some _ ->
+                        remote :=
+                          (x, dir, b)
+                          :: List.filter (fun e -> key e <> (x, dir)) cur
+                    | None -> remote := (x, dir, b) :: cur))
+            (Expr.refs s.rhs))
+        stmts;
+      {
+        writes;
+        remote = List.rev !remote;
+        cost = cluster_cost_ns ~machine p rep;
+      })
+    order
+
+let block_events sched =
+  let arr = Array.of_list sched in
+  let events = ref [] in
+  Array.iteri
+    (fun c entry ->
+      List.iter
+        (fun (x, dir, ebytes) ->
+          (* last earlier cluster writing x *)
+          let producer = ref (-1) in
+          for q = 0 to c - 1 do
+            if List.mem x arr.(q).writes then producer := q
+          done;
+          events := { array = x; dir; ebytes; consumer = c; producer = !producer }
+                    :: !events)
+        entry.remote)
+    arr;
+  List.rev !events
+
+let eliminate_redundant sched events =
+  let arr = Array.of_list sched in
+  let written_between x a b =
+    (* any write of x by clusters in positions [a, b) *)
+    let hit = ref false in
+    for q = max a 0 to b - 1 do
+      if List.mem x arr.(q).writes then hit := true
+    done;
+    !hit
+  in
+  let kept = ref [] in
+  List.filter
+    (fun e ->
+      let redundant =
+        List.exists
+          (fun e' ->
+            e'.array = e.array && e'.dir = e.dir && e'.ebytes >= e.ebytes
+            && not (written_between e.array e'.consumer e.consumer))
+          !kept
+      in
+      if not redundant then kept := e :: !kept;
+      not redundant)
+    events
+
+(* ------------------------------------------------------------------ *)
+(* Costing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type msg = {
+  mbytes : int;
+  window : float;  (** overlappable compute between producer and consumer *)
+}
+
+let messages_of_events ~opts sched events =
+  let arr = Array.of_list sched in
+  let window_of ~producer ~consumer =
+    let w = ref 0.0 in
+    for q = producer + 1 to consumer - 1 do
+      w := !w +. arr.(q).cost
+    done;
+    !w
+  in
+  if opts.combining then
+    (* one message per (consumer, dir) *)
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let key = (e.consumer, e.dir) in
+        let bytes0, prod0 =
+          try Hashtbl.find groups key with Not_found -> (0, -1)
+        in
+        Hashtbl.replace groups key (bytes0 + e.ebytes, max prod0 e.producer))
+      events;
+    Hashtbl.fold
+      (fun (consumer, _) (mbytes, producer) acc ->
+        { mbytes; window = window_of ~producer ~consumer } :: acc)
+      groups []
+  else
+    List.map
+      (fun e ->
+        {
+          mbytes = e.ebytes;
+          window = window_of ~producer:e.producer ~consumer:e.consumer;
+        })
+      events
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program analysis                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ~(machine : Machine.t) ~procs ~opts
+    (c : Compilers.Driver.compiled) =
+  if procs <= 1 then
+    { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 }
+  else begin
+    let prog = c.Compilers.Driver.prog in
+    let plans = Array.of_list c.Compilers.Driver.plan in
+    (* per-block execution multipliers + reduction executions, via the
+       same traversal order as Prog.blocks *)
+    let block_mult = Array.make (Array.length plans) 0 in
+    let reductions = ref 0 in
+    let next_block = ref 0 in
+    let rec walk mult pending stmts =
+      match stmts with
+      | [] -> flush mult pending
+      | Prog.Astmt _ :: tl -> walk mult (pending + 1) tl
+      | Prog.Sloop { lo; hi; body; _ } :: tl ->
+          flush mult pending;
+          walk (mult * max 0 (hi - lo + 1)) 0 body;
+          walk mult 0 tl
+      | Prog.Reduce _ :: tl ->
+          flush mult pending;
+          reductions := !reductions + mult;
+          walk mult 0 tl
+      | Prog.Sassign _ :: tl ->
+          flush mult pending;
+          walk mult 0 tl
+    and flush mult pending =
+      if pending > 0 then begin
+        block_mult.(!next_block) <- mult;
+        incr next_block
+      end
+    in
+    walk 1 0 prog.Prog.body;
+    let alpha = machine.Machine.msg_latency_ns in
+    let beta = machine.Machine.byte_ns in
+    let total = ref { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 } in
+    Array.iteri
+      (fun bi bp ->
+        let mult = block_mult.(bi) in
+        if mult > 0 then begin
+          let rank =
+            match List.nth_opt (Prog.blocks prog) bi with
+            | Some (s :: _) -> Region.rank s.Nstmt.region
+            | _ -> 2
+          in
+          let dist = Dist.make ~rank ~procs in
+          let sched = block_schedule ~machine ~dist bp in
+          let events = block_events sched in
+          let events =
+            if opts.redundancy then eliminate_redundant sched events
+            else events
+          in
+          let msgs = messages_of_events ~opts sched events in
+          List.iter
+            (fun m ->
+              let raw = alpha +. (beta *. float_of_int m.mbytes) in
+              let eff =
+                if opts.pipelining then max (0.25 *. alpha) (raw -. m.window)
+                else raw
+              in
+              total :=
+                {
+                  !total with
+                  messages = !total.messages + mult;
+                  bytes = !total.bytes + (mult * m.mbytes);
+                  raw_ns = !total.raw_ns +. (float_of_int mult *. raw);
+                  effective_ns =
+                    !total.effective_ns +. (float_of_int mult *. eff);
+                })
+            msgs
+        end)
+      plans;
+    (* reduction combining trees *)
+    let stages =
+      int_of_float (ceil (log (float_of_int procs) /. log 2.0))
+    in
+    let red_one = float_of_int stages *. (alpha +. (8.0 *. beta)) in
+    let red_total = float_of_int !reductions *. red_one in
+    {
+      !total with
+      messages = !total.messages + (!reductions * stages);
+      raw_ns = !total.raw_ns +. red_total;
+      effective_ns = !total.effective_ns +. red_total;
+      reduction_ns = red_total;
+    }
+  end

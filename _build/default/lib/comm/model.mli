@@ -1,0 +1,54 @@
+(** Communication inference, optimization and costing.
+
+    Works at the array level, on the same fusion plan the scalarizer
+    consumes — exactly the integration the paper argues for (§5.5).
+    For every fusible cluster the model infers the border exchanges its
+    remote references require, then applies the paper's communication
+    optimizations:
+
+    - {e message vectorization} — always on: one message per
+      (array, direction) per cluster, never per element;
+    - {e redundancy elimination} — an exchange is dropped when the same
+      border was already fetched and the array has not been written
+      since;
+    - {e message combining} — exchanges consumed at the same point and
+      going to the same neighbor share one message (one latency α);
+    - {e pipelining} — the wait for an exchange is overlapped with the
+      computation of clusters scheduled between the producer of the
+      array and its consumer; a floor of 0.25·α per message models the
+      unhideable software overhead.
+
+    Reductions contribute a log₂ p combining tree per execution. *)
+
+type opts = {
+  redundancy : bool;
+  combining : bool;
+  pipelining : bool;
+}
+
+val all_on : opts
+val vectorize_only : opts
+
+type summary = {
+  messages : int;  (** point-to-point messages, after optimization *)
+  bytes : int;  (** payload bytes moved *)
+  raw_ns : float;  (** exchange cost before overlap *)
+  effective_ns : float;
+      (** total communication wait time charged to the run, including
+          reductions *)
+  reduction_ns : float;  (** portion due to reduction trees *)
+}
+
+val analyze :
+  machine:Machine.t ->
+  procs:int ->
+  opts:opts ->
+  Compilers.Driver.compiled ->
+  summary
+(** Infer and cost all communication for one compiled configuration.
+    With [procs = 1] everything is local: the summary is all zeros. *)
+
+val cluster_cost_ns :
+  machine:Machine.t -> Core.Partition.t -> int -> float
+(** Static per-execution compute estimate for one cluster (used for
+    overlap windows; also exposed for tests). *)

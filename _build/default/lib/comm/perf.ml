@@ -1,0 +1,65 @@
+type config = {
+  machine : Machine.t;
+  procs : int;
+  comm : Model.opts;
+}
+
+type report = {
+  time_ns : float;
+  comp_ns : float;
+  comm_ns : float;
+  l1 : Cachesim.Cache.stats;
+  l2 : Cachesim.Cache.stats option;
+  flops : int;
+  loads : int;
+  stores : int;
+  messages : int;
+  msg_bytes : int;
+  footprint_bytes : int;
+  checksum : string;
+}
+
+let measure cfg (c : Compilers.Driver.compiled) =
+  let m = cfg.machine in
+  let hier =
+    Cachesim.Cache.Hierarchy.create ~l1:m.Machine.l1 ?l2:m.Machine.l2 ()
+  in
+  let trace ~addr ~write =
+    Cachesim.Cache.Hierarchy.access hier ~addr ~write
+  in
+  let code = c.Compilers.Driver.code in
+  let result = Exec.Interp.run ~trace code in
+  let cnt = Exec.Interp.counters result in
+  let l1 = Cachesim.Cache.Hierarchy.l1_stats hier in
+  let l2 = Cachesim.Cache.Hierarchy.l2_stats hier in
+  let comm = Model.analyze ~machine:m ~procs:cfg.procs ~opts:cfg.comm c in
+  let l2_misses =
+    match l2 with Some s -> s.Cachesim.Cache.misses | None -> 0
+  in
+  let activity =
+    {
+      Machine.flops = cnt.Exec.Interp.flops;
+      l1_accesses = l1.Cachesim.Cache.accesses;
+      l1_misses = l1.Cachesim.Cache.misses;
+      l2_misses;
+      comm_ns = comm.Model.effective_ns;
+    }
+  in
+  let time = Machine.time_ns m activity in
+  {
+    time_ns = time;
+    comp_ns = time -. comm.Model.effective_ns;
+    comm_ns = comm.Model.effective_ns;
+    l1;
+    l2;
+    flops = cnt.Exec.Interp.flops;
+    loads = cnt.Exec.Interp.loads;
+    stores = cnt.Exec.Interp.stores;
+    messages = comm.Model.messages;
+    msg_bytes = comm.Model.bytes;
+    footprint_bytes = Exec.Interp.footprint_bytes code;
+    checksum = Exec.Interp.checksum result;
+  }
+
+let improvement_pct ~baseline r =
+  100.0 *. (baseline.time_ns -. r.time_ns) /. r.time_ns

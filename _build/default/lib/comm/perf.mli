@@ -1,0 +1,37 @@
+(** End-to-end performance measurement of a compiled configuration.
+
+    Runs the generated scalar program through the instrumented
+    interpreter, feeds every memory reference to the target machine's
+    cache hierarchy, infers and costs communication at the array level,
+    and combines everything through the machine's time model.  This is
+    the measurement harness behind Figures 9–11 and §5.5: the program
+    simulated is one processor's share of a problem scaled with the
+    machine (constant per-processor data), exactly the paper's
+    methodology. *)
+
+type config = {
+  machine : Machine.t;
+  procs : int;
+  comm : Model.opts;
+}
+
+type report = {
+  time_ns : float;  (** modeled execution time *)
+  comp_ns : float;  (** computation + memory-system portion *)
+  comm_ns : float;  (** effective communication portion *)
+  l1 : Cachesim.Cache.stats;
+  l2 : Cachesim.Cache.stats option;
+  flops : int;
+  loads : int;
+  stores : int;
+  messages : int;
+  msg_bytes : int;
+  footprint_bytes : int;
+  checksum : string;  (** result digest — equal across correct configurations *)
+}
+
+val measure : config -> Compilers.Driver.compiled -> report
+
+val improvement_pct : baseline:report -> report -> float
+(** Percent runtime improvement over a baseline, the y-axis of
+    Figures 9–11: [100·(t_b − t) / t].  Negative = slowdown. *)

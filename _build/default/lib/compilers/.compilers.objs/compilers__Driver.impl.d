@@ -1,0 +1,1 @@
+lib/compilers/driver.ml: Array Core Expr Ir List Nstmt Prog Region Sir Support

@@ -1,0 +1,1 @@
+lib/compilers/driver.mli: Core Ir Sir

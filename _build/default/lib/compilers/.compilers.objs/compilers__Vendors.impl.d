@@ -1,0 +1,1 @@
+lib/compilers/vendors.ml: Core Ir List Prog Support

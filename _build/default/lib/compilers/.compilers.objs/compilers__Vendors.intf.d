@@ -1,0 +1,1 @@
+lib/compilers/vendors.mli: Core Ir

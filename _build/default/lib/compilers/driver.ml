@@ -1,0 +1,290 @@
+open Ir
+
+type level = Baseline | F1 | C1 | F2 | F3 | C2 | C2F3 | C2F4 | C2P
+
+let all_levels = [ Baseline; F1; C1; F2; F3; C2; C2F3; C2F4 ]
+
+let level_name = function
+  | Baseline -> "baseline"
+  | F1 -> "f1"
+  | C1 -> "c1"
+  | F2 -> "f2"
+  | F3 -> "f3"
+  | C2 -> "c2"
+  | C2F3 -> "c2+f3"
+  | C2F4 -> "c2+f4"
+  | C2P -> "c2+p"
+
+let level_of_name s =
+  List.find_opt (fun l -> level_name l = s) (all_levels @ [ C2P ])
+
+type compiled = {
+  level : level;
+  prog : Prog.t;
+  plan : Sir.Scalarize.plan;
+  code : Sir.Code.program;
+  contracted : (string * Core.Contraction.shape) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Program-wide context shared by all blocks                           *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  prog : Prog.t;
+  reduces : (Prog.redop * Region.t * string * Expr.t) array;
+  trailing : (int * int list) list;  (* block -> trailing reduce indices *)
+  (* candidates computed optimistically: every trailing reduce is
+     assumed absorbable; verified per block after fusion *)
+  candidates : (string * int) list;
+}
+
+let make_ctx prog =
+  let trailing = Prog.trailing_reduces prog in
+  let allow b = try List.assoc b trailing with Not_found -> [] in
+  {
+    prog;
+    reduces = Array.of_list (Prog.reduce_stmts prog);
+    trailing;
+    candidates = Prog.confined_arrays_allowing_reduces prog allow;
+  }
+
+let block_candidates ctx block_idx =
+  let in_block =
+    List.filter_map
+      (fun (x, b) -> if b = block_idx then Some x else None)
+      ctx.candidates
+  in
+  let kind x =
+    match Prog.find_array ctx.prog x with
+    | Some info -> info.Prog.kind
+    | None -> Prog.User
+  in
+  ( List.filter (fun x -> kind x = Prog.Compiler) in_block,
+    List.filter (fun x -> kind x = Prog.User) in_block )
+
+(* ------------------------------------------------------------------ *)
+(* Reduction absorption (reduction fusion)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* For each reduction trailing this block, choose a cluster to fuse it
+   into, or leave it standalone.  Soundness conditions for absorbing
+   into cluster [c]:
+   - the reduction region equals [c]'s region;
+   - [c]'s loop structure is the default row-major one, so accumulation
+     order — and floating-point rounding — is bitwise-preserved;
+   - any array the argument reads that is written in [c] is read at
+     offset 0 (its final value at the current point is available);
+   - no cluster emitted after [c] writes an array the argument reads
+     (the accumulation must see final values);
+   - the target scalar is not read anywhere in the block, and targets
+     and arguments of absorbed reductions do not interfere.
+   Among valid clusters we prefer the {e latest producer} of the
+   argument's arrays: absorbing there lets an array read only by this
+   reduction contract. *)
+let decide_absorption ctx block_idx (p : Core.Partition.t) =
+  let rs = try List.assoc block_idx ctx.trailing with Not_found -> [] in
+  if rs = [] then []
+  else begin
+    let order = Array.of_list (Sir.Scalarize.cluster_order p) in
+    let n = Array.length order in
+    let g = Core.Partition.asdg p in
+    let cluster_stmts pos =
+      List.map (Core.Asdg.stmt g) (Core.Partition.members p order.(pos))
+    in
+    let writes pos =
+      List.map (fun (s : Nstmt.t) -> s.lhs) (cluster_stmts pos)
+    in
+    let block_svars =
+      Array.to_list (Core.Asdg.stmts g)
+      |> List.concat_map (fun (s : Nstmt.t) -> Expr.svars s.rhs)
+    in
+    let cluster_ok pos region =
+      match cluster_stmts pos with
+      | [] -> false
+      | s0 :: _ ->
+          Region.equal region s0.Nstmt.region
+          &&
+          let rank = Region.rank s0.Nstmt.region in
+          (match Core.Partition.loop_structure p order.(pos) with
+          | Some ls -> ls = Core.Loopstruct.default rank
+          | None -> false)
+    in
+    let absorbed = ref [] in
+    let absorbed_targets = ref [] in
+    List.iter
+      (fun ri ->
+        let _, region, target, arg = ctx.reduces.(ri) in
+        let refs = Expr.refs arg in
+        let arrays_read = List.map fst refs in
+        (* latest cluster writing any argument array *)
+        let latest_writer = ref (-1) in
+        for pos = 0 to n - 1 do
+          if List.exists (fun x -> List.mem x (writes pos)) arrays_read then
+            latest_writer := pos
+        done;
+        let scalar_ok =
+          (not (List.mem target block_svars))
+          && (not (List.mem target !absorbed_targets))
+          && List.for_all
+               (fun s -> not (List.mem s !absorbed_targets))
+               (Expr.svars arg)
+        in
+        let offsets_ok pos =
+          List.for_all
+            (fun (x, d) ->
+              (not (List.mem x (writes pos))) || Support.Vec.is_null d)
+            refs
+        in
+        (* valid positions: >= latest writer; prefer the latest writer
+           itself (contraction), else the earliest valid one after it *)
+        if scalar_ok then begin
+          let start = max 0 !latest_writer in
+          let rec try_pos pos =
+            if pos >= n then ()
+            else if cluster_ok pos region && offsets_ok pos then begin
+              absorbed := !absorbed @ [ (ri, order.(pos)) ];
+              absorbed_targets := target :: !absorbed_targets
+            end
+            else try_pos (pos + 1)
+          in
+          try_pos start
+        end)
+      rs;
+    !absorbed
+  end
+
+(* Arrays read by reductions may only contract when every such
+   reduction is absorbed into the cluster holding all the array's block
+   references (the accumulation then reads the contraction scalar). *)
+let filter_reduce_read_candidates ctx p absorbed cands =
+  let reduce_readers x =
+    let out = ref [] in
+    Array.iteri
+      (fun i (_, _, _, arg) ->
+        if List.mem x (Expr.ref_names arg) then out := i :: !out)
+      ctx.reduces;
+    List.rev !out
+  in
+  List.filter
+    (fun x ->
+      match reduce_readers x with
+      | [] -> true
+      | readers ->
+          List.for_all
+            (fun r ->
+              match List.assoc_opt r absorbed with
+              | None -> false
+              | Some rep ->
+                  List.for_all
+                    (fun i -> Core.Partition.cluster_of p i = rep)
+                    (Core.Asdg.stmts_referencing (Core.Partition.asdg p) x))
+            readers)
+    cands
+
+(* ------------------------------------------------------------------ *)
+(* Per-block optimization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_shapes xs = List.map (fun x -> (x, Core.Contraction.Scalar)) xs
+
+let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
+    : Sir.Scalarize.block_plan =
+  (* Reduction fusion belongs to the user-array strategies: f1/c1 only
+     consider compiler temporaries, and reductions never involve them
+     (paper: EP and Frac gain nothing from f1/c1). *)
+  let reduction_fusion =
+    reduction_fusion && match level with Baseline | F1 | C1 -> false | _ -> true
+  in
+  let g = Core.Asdg.build stmts in
+  let compiler_cands, user_cands = block_candidates ctx block_idx in
+  let all_cands = compiler_cands @ user_cands in
+  let fuse_c cands = Core.Fusion.for_contraction ~may_fuse ~candidates:cands g in
+  let finish ?(absorb = reduction_fusion) p cands =
+    let absorbed =
+      if absorb then decide_absorption ctx block_idx p else []
+    in
+    let cands = filter_reduce_read_candidates ctx p absorbed cands in
+    {
+      Sir.Scalarize.partition = p;
+      contracted = scalar_shapes (Core.Contraction.decide p ~candidates:cands);
+      absorbed;
+    }
+  in
+  match level with
+  | Baseline ->
+      {
+        Sir.Scalarize.partition = Core.Partition.trivial g;
+        contracted = [];
+        absorbed = [];
+      }
+  | F1 ->
+      let bp = finish (fuse_c compiler_cands) [] in
+      { bp with Sir.Scalarize.contracted = [] }
+  | C1 -> finish (fuse_c compiler_cands) compiler_cands
+  | F2 ->
+      (* fusion as for full contraction, but only compiler arrays are
+         actually contracted *)
+      finish (fuse_c all_cands) compiler_cands
+  | F3 ->
+      finish (Core.Fusion.for_locality ~may_fuse (fuse_c compiler_cands)) compiler_cands
+  | C2 -> finish (fuse_c all_cands) all_cands
+  | C2F3 ->
+      finish (Core.Fusion.for_locality ~may_fuse (fuse_c all_cands)) all_cands
+  | C2F4 ->
+      finish
+        (Core.Fusion.greedy_pairwise ~may_fuse
+           (Core.Fusion.for_locality ~may_fuse (fuse_c all_cands)))
+        all_cands
+  | C2P ->
+      (* extension: sequential fusion tolerating loop-carried flow, then
+         contraction to the lowest sufficient rank *)
+      let p =
+        Core.Fusion.for_locality ~relax_flow:true ~may_fuse (fuse_c all_cands)
+      in
+      let absorbed =
+        if reduction_fusion then decide_absorption ctx block_idx p else []
+      in
+      let cands = filter_reduce_read_candidates ctx p absorbed all_cands in
+      {
+        Sir.Scalarize.partition = p;
+        contracted = Core.Contraction.decide_partial p ~candidates:cands;
+        absorbed;
+      }
+
+let compile ?may_fuse ?reduction_fusion ~level prog =
+  (match Prog.validate prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Driver.compile: invalid program: " ^ e));
+  let ctx = make_ctx prog in
+  let blocks = Prog.blocks prog in
+  let plan =
+    List.mapi
+      (fun bi stmts ->
+        let mf =
+          match may_fuse with
+          | None -> fun _ -> true
+          | Some f -> fun ss -> f ~block:bi ss
+        in
+        plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
+      blocks
+  in
+  let code = Sir.Scalarize.scalarize prog plan in
+  {
+    level;
+    prog;
+    plan;
+    code;
+    contracted = Sir.Scalarize.contracted_of_plan plan;
+  }
+
+let contracted_counts (c : compiled) =
+  List.fold_left
+    (fun (nc, nu) (x, _) ->
+      match Prog.find_array c.prog x with
+      | Some { Prog.kind = Prog.Compiler; _ } -> (nc + 1, nu)
+      | Some { Prog.kind = Prog.User; _ } -> (nc, nu + 1)
+      | None -> (nc, nu))
+    (0, 0) c.contracted
+
+let remaining_arrays (c : compiled) = List.length c.code.Sir.Code.allocs

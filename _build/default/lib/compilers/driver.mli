@@ -1,0 +1,57 @@
+(** End-to-end optimization driver.
+
+    Implements the incremental optimization strategies of the paper's
+    evaluation (§5.4):
+
+    - [Baseline] — no fusion or contraction;
+    - [F1] — fusion to enable contraction of compiler arrays, without
+      performing the contraction;
+    - [C1] — [F1] plus the contraction of compiler arrays;
+    - [F2] — [C1] plus fusion to enable contraction of user arrays,
+      without contracting them;
+    - [F3] — [C1] plus fusion for locality;
+    - [C2] — [C1] plus contraction of user arrays;
+    - [C2F3] — [C2] plus fusion for locality;
+    - [C2F4] — [C2F3] plus all legal fusion (greedy pairwise);
+    - [C2P] — {e extension}: [C2F3] with sequential (relaxed-flow)
+      fusion and contraction to lower-dimensional arrays, the future
+      work the paper motivates with SP (§5.2).  Not part of the paper's
+      level ladder; used by the ablation benches. *)
+
+type level = Baseline | F1 | C1 | F2 | F3 | C2 | C2F3 | C2F4 | C2P
+
+val all_levels : level list
+(** The paper's eight strategies, in the order of Figures 9–11
+    (without [C2P]). *)
+
+val level_name : level -> string
+(** The paper's name: ["baseline"], ["f1"], ..., ["c2+f4"], ["c2+p"]. *)
+
+val level_of_name : string -> level option
+
+type compiled = {
+  level : level;
+  prog : Ir.Prog.t;  (** the input array program *)
+  plan : Sir.Scalarize.plan;
+  code : Sir.Code.program;  (** generated scalar program *)
+  contracted : (string * Core.Contraction.shape) list;
+      (** every contraction performed, with its shape *)
+}
+
+val compile :
+  ?may_fuse:(block:int -> int list -> bool) ->
+  ?reduction_fusion:bool ->
+  level:level ->
+  Ir.Prog.t ->
+  compiled
+(** Optimize and scalarize.  [may_fuse] vetoes merges per basic block
+    (used for communication integration, §5.5); [reduction_fusion]
+    (default true) may be disabled as an ablation — without it, arrays
+    consumed by reductions can never contract.  Raises
+    [Invalid_argument] if the program fails [Ir.Prog.validate]. *)
+
+val contracted_counts : compiled -> int * int
+(** [(compiler, user)] arrays eliminated (Figure 7's categories). *)
+
+val remaining_arrays : compiled -> int
+(** Static arrays still allocated after contraction. *)

@@ -1,0 +1,125 @@
+open Ir
+
+type caps = {
+  vname : string;
+  fuse_locality : bool;
+  fuse_anti : bool;
+  contract_user : bool;
+  integrated : bool;
+}
+
+let pgi =
+  {
+    vname = "PGI HPF 2.1";
+    fuse_locality = false;
+    fuse_anti = false;
+    contract_user = false;
+    integrated = false;
+  }
+
+let ibm = { pgi with vname = "IBM XLHPF 1.2" }
+
+let apr =
+  {
+    vname = "APR XHPF 2.0";
+    fuse_locality = true;
+    fuse_anti = false;
+    contract_user = false;
+    integrated = false;
+  }
+
+let cray =
+  {
+    vname = "Cray F90 2.0.1.0";
+    fuse_locality = true;
+    fuse_anti = false;
+    contract_user = true;
+    integrated = false;
+  }
+
+let zpl =
+  {
+    vname = "ZPL 1.13";
+    fuse_locality = true;
+    fuse_anti = true;
+    contract_user = true;
+    integrated = true;
+  }
+
+let all = [ pgi; ibm; apr; cray; zpl ]
+
+type result = {
+  caps : caps;
+  partition : Core.Partition.t;
+  contracted : string list;
+}
+
+(* Reject merges whose fused loop nest would carry an anti dependence
+   (the APR/Cray limitation the paper observes on fragments 3 and 7). *)
+let no_anti_veto g ss =
+  not
+    (List.exists
+       (fun i ->
+         List.exists
+           (fun j ->
+             i < j
+             && List.exists
+                  (fun (l : Core.Dep.label) ->
+                    l.kind = Core.Dep.Anti
+                    && not (Support.Vec.is_null l.udv))
+                  (Core.Asdg.labels g i j))
+           ss)
+       ss)
+
+let optimize_block caps prog stmts =
+  let g = Core.Asdg.build stmts in
+  let confined = Prog.confined_arrays prog in
+  let in_block =
+    List.filter_map
+      (fun (x, b) ->
+        ignore b;
+        (* fragments are single-block programs; for multi-block inputs
+           restrict to arrays whose block is this one *)
+        if
+          List.exists
+            (fun s -> List.mem x (Ir.Nstmt.arrays s))
+            stmts
+        then Some x
+        else None)
+      confined
+  in
+  let kind x =
+    match Prog.find_array prog x with
+    | Some i -> i.Prog.kind
+    | None -> Prog.User
+  in
+  let compiler_cands = List.filter (fun x -> kind x = Prog.Compiler) in_block in
+  let user_cands = List.filter (fun x -> kind x = Prog.User) in_block in
+  let veto ss = caps.fuse_anti || no_anti_veto g ss in
+  (* Phase 1: compiler temporaries.  All emulated products eliminate
+     them via a local peephole that can pick the loop direction, so the
+     anti veto does not apply here. *)
+  let p =
+    if caps.integrated then
+      (* ZPL: everything weighed together in one pass *)
+      Core.Fusion.for_contraction ~candidates:(compiler_cands @ user_cands) g
+    else begin
+      let p = Core.Fusion.for_contraction ~candidates:compiler_cands g in
+      if caps.contract_user then
+        Core.Fusion.for_contraction ~start:p ~may_fuse:(veto)
+          ~candidates:user_cands g
+      else p
+    end
+  in
+  let p =
+    if caps.fuse_locality then Core.Fusion.for_locality ~may_fuse:veto p
+    else p
+  in
+  let cands =
+    compiler_cands @ (if caps.contract_user then user_cands else [])
+  in
+  let contracted = Core.Contraction.decide p ~candidates:cands in
+  { caps; partition = p; contracted }
+
+let n_nests r = Core.Partition.n_clusters r.partition
+let is_contracted r x = List.mem x r.contracted

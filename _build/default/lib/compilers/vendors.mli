@@ -1,0 +1,55 @@
+(** Emulations of the commercial array-language compilers of the
+    paper's Figure 6.
+
+    The paper infers each product's capabilities by studying its output
+    on the Figure 5 fragments; these emulations encode the inferred
+    capability sets on top of our own machinery:
+
+    - {b PGI HPF 2.1} / {b IBM XLHPF 1.2}: no statement fusion at all;
+      compiler temporaries are eliminated by a local peephole (the
+      temporary's definition and copy-back compile to one loop).
+    - {b APR XHPF 2.0}: fusion for locality and compiler-array
+      contraction, but {e no} fusion of loops that would carry
+      anti-dependences, and no user-array contraction.
+    - {b Cray F90 2.0.1.0}: statement fusion and contraction of both
+      compiler and user arrays, but anti-dependences block fusion, and
+      compiler temporaries are considered {e before} (separately from)
+      user arrays — the trade-off fragment (8) exposes.
+    - {b ZPL} (this work): collective fusion with reversal and
+      interchange, compiler and user arrays weighed together.
+
+    An emulation optimizes one basic block; Figure 6's fragments are
+    all single-block programs. *)
+
+type caps = {
+  vname : string;
+  fuse_locality : bool;  (** perform fusion beyond temporary peepholes *)
+  fuse_anti : bool;  (** may fused loops carry anti dependences? *)
+  contract_user : bool;
+  integrated : bool;
+      (** weigh compiler and user arrays together (false = compiler
+          temporaries are contracted first, separately) *)
+}
+
+val pgi : caps
+val ibm : caps
+val apr : caps
+val cray : caps
+val zpl : caps
+val all : caps list
+
+type result = {
+  caps : caps;
+  partition : Core.Partition.t;
+  contracted : string list;
+}
+
+val optimize_block : caps -> Ir.Prog.t -> Ir.Nstmt.t list -> result
+(** Optimize one basic block of [prog] under the emulated capability
+    set.  Contraction candidacy (confinement, liveness) is computed
+    from the whole program as usual. *)
+
+val n_nests : result -> int
+(** Loop nests the block compiles to (1 = fully fused). *)
+
+val is_contracted : result -> string -> bool

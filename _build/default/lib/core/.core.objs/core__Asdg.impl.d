@@ -1,0 +1,1 @@
+lib/core/asdg.ml: Array Dep Format Hashtbl Ir List

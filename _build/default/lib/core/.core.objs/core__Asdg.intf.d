@@ -1,0 +1,1 @@
+lib/core/asdg.mli: Dep Format Ir

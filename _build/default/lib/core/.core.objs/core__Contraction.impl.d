@@ -1,0 +1,1 @@
+lib/core/contraction.ml: Array Asdg Dep Ir List Loopstruct Partition Support

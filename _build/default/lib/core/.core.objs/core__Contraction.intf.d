@@ -1,0 +1,1 @@
+lib/core/contraction.mli: Ir Partition

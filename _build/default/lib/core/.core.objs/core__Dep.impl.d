@@ -1,0 +1,1 @@
+lib/core/dep.ml: Format Hashtbl Ir List Nstmt Region Support

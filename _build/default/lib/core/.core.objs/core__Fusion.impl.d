@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Asdg List Partition Weights

@@ -1,0 +1,1 @@
+lib/core/loopstruct.ml: Array List Support

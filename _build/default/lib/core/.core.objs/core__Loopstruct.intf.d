@@ -1,0 +1,1 @@
+lib/core/loopstruct.mli: Format Support

@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Expr Fun Ir List Nstmt Prog Region Support

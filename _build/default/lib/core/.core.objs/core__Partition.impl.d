@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Asdg Dep Format Hashtbl Ir List Loopstruct Support

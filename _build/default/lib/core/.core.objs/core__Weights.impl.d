@@ -1,0 +1,1 @@
+lib/core/weights.ml: Array Asdg Ir List

@@ -1,0 +1,74 @@
+type t = {
+  stmts : Ir.Nstmt.t array;
+  edge_tbl : (int * int, Dep.label list) Hashtbl.t;
+  edge_list : (int * int) list;  (* sorted, nonempty labels only *)
+}
+
+let build stmt_list =
+  let stmts = Array.of_list stmt_list in
+  let n = Array.length stmts in
+  let edge_tbl = Hashtbl.create 64 in
+  let edge_list = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match Dep.between stmts.(i) stmts.(j) with
+      | [] -> ()
+      | labels ->
+          Hashtbl.replace edge_tbl (i, j) labels;
+          edge_list := (i, j) :: !edge_list
+    done
+  done;
+  { stmts; edge_tbl; edge_list = List.sort compare !edge_list }
+
+let n t = Array.length t.stmts
+let stmt t i = t.stmts.(i)
+let stmts t = t.stmts
+let edges t = t.edge_list
+
+let labels t i j =
+  match Hashtbl.find_opt t.edge_tbl (i, j) with Some l -> l | None -> []
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun s ->
+      List.iter
+        (fun x ->
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.add seen x ();
+            out := x :: !out
+          end)
+        (Ir.Nstmt.arrays s))
+    t.stmts;
+  List.rev !out
+
+let deps_on t x =
+  List.concat_map
+    (fun e ->
+      List.filter_map
+        (fun (l : Dep.label) -> if l.var = x then Some (e, l) else None)
+        (labels t (fst e) (snd e)))
+    t.edge_list
+
+let stmts_referencing t x =
+  let out = ref [] in
+  Array.iteri
+    (fun i s -> if List.mem x (Ir.Nstmt.arrays s) then out := i :: !out)
+    t.stmts;
+  List.rev !out
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i s -> Format.fprintf ppf "s%d: %a@," i Ir.Nstmt.pp s)
+    t.stmts;
+  List.iter
+    (fun (i, j) ->
+      Format.fprintf ppf "s%d -> s%d  {%a}@," i j
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Dep.pp)
+        (labels t i j))
+    t.edge_list;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+open Ir
+
+type kind = Flow | Anti | Output
+
+type label = {
+  var : string;
+  udv : Support.Vec.t;
+  kind : kind;
+}
+
+(* Two references touch iff the index sets they access intersect. *)
+let touches r1 d1 r2 d2 =
+  Region.inter (Region.shift r1 d1) (Region.shift r2 d2) <> None
+
+let dedup labels =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun l ->
+      let key = (l.var, l.udv, l.kind) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    labels
+
+let between (src : Nstmt.t) (tgt : Nstmt.t) =
+  if Region.rank src.region <> Region.rank tgt.region then []
+  else begin
+    let acc = ref [] in
+    let add var udv kind = acc := { var; udv; kind } :: !acc in
+    let shared =
+      List.filter
+        (fun x -> List.mem x (Nstmt.arrays tgt))
+        (Nstmt.arrays src)
+    in
+    List.iter
+      (fun x ->
+        (* flow: src writes x, tgt reads x *)
+        List.iter
+          (fun dw ->
+            List.iter
+              (fun dr ->
+                if touches src.region dw tgt.region dr then
+                  add x (Support.Vec.sub dw dr) Flow)
+              (Nstmt.reads_of tgt x))
+          (Nstmt.writes_of src x);
+        (* anti: src reads x, tgt writes x *)
+        List.iter
+          (fun dr ->
+            List.iter
+              (fun dw ->
+                if touches src.region dr tgt.region dw then
+                  add x (Support.Vec.sub dr dw) Anti)
+              (Nstmt.writes_of tgt x))
+          (Nstmt.reads_of src x);
+        (* output: both write x *)
+        List.iter
+          (fun dw1 ->
+            List.iter
+              (fun dw2 ->
+                if touches src.region dw1 tgt.region dw2 then
+                  add x (Support.Vec.sub dw1 dw2) Output)
+              (Nstmt.writes_of tgt x))
+          (Nstmt.writes_of src x))
+      shared;
+    dedup (List.rev !acc)
+  end
+
+let kind_name = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let pp ppf l =
+  Format.fprintf ppf "%s:%a:%s" l.var Support.Vec.pp l.udv (kind_name l.kind)

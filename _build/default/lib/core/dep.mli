@@ -1,0 +1,25 @@
+(** Array-level data dependences between normalized statements.
+
+    A dependence label carries the inducing variable, its unconstrained
+    distance vector (Definition 2) and its type.  UDVs are built by
+    subtracting the dependence {e target}'s offset vector from its
+    {e source}'s offset (paper §2.2): for Figure 2(b) this yields
+    [(0,1)] and [(1,-1)] for array [A] and [(-1,0)] for array [B]. *)
+
+type kind = Flow | Anti | Output
+
+type label = {
+  var : string;
+  udv : Support.Vec.t;
+  kind : kind;
+}
+
+val between : Ir.Nstmt.t -> Ir.Nstmt.t -> label list
+(** [between src tgt] is the set of dependences from the earlier
+    statement [src] to the later statement [tgt], one label per
+    (variable, read/write offset pair) whose accessed index sets
+    actually intersect.  Statements of different ranks share no arrays
+    (normal-form invariant) and produce no labels. *)
+
+val kind_name : kind -> string
+val pp : Format.formatter -> label -> unit

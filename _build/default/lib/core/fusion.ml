@@ -1,0 +1,70 @@
+let always _ = true
+
+let stmts_of p reps = List.concat_map (fun r -> Partition.members p r) reps
+
+(* One Figure-3 attempt: collect the clusters referencing [x], close
+   them under GROW, and merge when legal.  [want_contract] switches
+   between FUSION-FOR-CONTRACTION and fusion-for-locality. *)
+let attempt ?relax_flow ~may_fuse ~want_contract p x =
+  let refs = Asdg.stmts_referencing (Partition.asdg p) x in
+  let c =
+    List.map (Partition.cluster_of p) refs |> List.sort_uniq compare
+  in
+  match c with
+  | [] | [ _ ] ->
+      (* nothing to fuse; contraction of a single-cluster array is
+         decided later by [Contraction.decide] *)
+      p
+  | _ ->
+      let c = List.sort_uniq compare (c @ Partition.grow p c) in
+      let ok_contract =
+        (not want_contract) || Partition.contractible p x ~within:c
+      in
+      if
+        ok_contract
+        && Partition.can_merge ?relax_flow p c
+        && may_fuse (stmts_of p c)
+      then Partition.merge p c
+      else p
+
+let for_contraction ?start ?relax_flow ?(may_fuse = always)
+    ?(order = `Weight) ~candidates g =
+  let p = match start with Some p -> p | None -> Partition.trivial g in
+  let order =
+    match order with
+    | `Weight -> Weights.by_decreasing_weight g candidates
+    | `Source -> candidates
+  in
+  List.fold_left
+    (fun p x ->
+      if Partition.first_ref_is_write p x then
+        attempt ?relax_flow ~may_fuse ~want_contract:true p x
+      else p)
+    p order
+
+let for_locality ?relax_flow ?(may_fuse = always) p =
+  let g = Partition.asdg p in
+  let order = Weights.by_decreasing_weight g (Asdg.vars g) in
+  List.fold_left (attempt ?relax_flow ~may_fuse ~want_contract:false) p order
+
+let greedy_pairwise ?relax_flow ?(may_fuse = always) p =
+  let rec pass p =
+    let reps = List.map List.hd (Partition.clusters p) in
+    let rec try_pairs = function
+      | [] -> None
+      | r1 :: rest -> (
+          let merged =
+            List.find_map
+              (fun r2 ->
+                if
+                  Partition.can_merge ?relax_flow p [ r1; r2 ]
+                  && may_fuse (stmts_of p [ r1; r2 ])
+                then Some (Partition.merge p [ r1; r2 ])
+                else None)
+              rest
+          in
+          match merged with Some p' -> Some p' | None -> try_pairs rest)
+    in
+    match try_pairs reps with Some p' -> pass p' | None -> p
+  in
+  pass p

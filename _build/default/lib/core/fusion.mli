@@ -1,0 +1,45 @@
+(** Statement fusion (paper §4.1).
+
+    [for_contraction] is the FUSION-FOR-CONTRACTION algorithm of
+    Figure 3; [for_locality] is the same algorithm with the
+    CONTRACTIBLE? test removed; [greedy_pairwise] is the "all legal
+    fusion" transformation (the paper's f4).
+
+    All entry points accept [?may_fuse], a veto on merged statement
+    sets, used to integrate fusion with communication optimization
+    (§5.5): in favor-communication mode the veto rejects merges that
+    would erase a pipelining opportunity. *)
+
+val for_contraction :
+  ?start:Partition.t ->
+  ?relax_flow:bool ->
+  ?may_fuse:(int list -> bool) ->
+  ?order:[ `Weight | `Source ] ->
+  candidates:string list ->
+  Asdg.t ->
+  Partition.t
+(** Figure 3.  [candidates] are the arrays globally eligible for
+    contraction (confined to this block, not live-out); arrays are
+    considered in order of decreasing reference weight.  The result is
+    always a valid fusion partition.  [start] continues from an
+    existing partition of the same ASDG (used by the staged commercial-
+    compiler emulations) instead of the trivial one.  [order:`Source]
+    disables the decreasing-weight ordering (an ablation: the paper
+    argues the greedy order matters on conflicting candidates). *)
+
+val for_locality :
+  ?relax_flow:bool ->
+  ?may_fuse:(int list -> bool) ->
+  Partition.t ->
+  Partition.t
+(** Fusion for locality enhancement, refining an existing partition:
+    for each array in decreasing weight order, fuse all clusters
+    referencing it when legal (no contractibility requirement). *)
+
+val greedy_pairwise :
+  ?relax_flow:bool ->
+  ?may_fuse:(int list -> bool) ->
+  Partition.t ->
+  Partition.t
+(** All legal fusion by a greedy pairwise algorithm (the paper's f4):
+    repeatedly merges any legal cluster pair until fixpoint. *)

@@ -1,0 +1,69 @@
+type t = Support.Vec.t
+
+let default n = Array.init n (fun i -> i + 1)
+
+let is_wellformed p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun pi ->
+      let d = abs pi in
+      if pi = 0 || d > n || seen.(d - 1) then false
+      else begin
+        seen.(d - 1) <- true;
+        true
+      end)
+    p
+
+let sign x = if x > 0 then 1 else if x < 0 then -1 else 0
+
+let constrain p u =
+  if Array.length p <> Array.length u then
+    invalid_arg "Loopstruct.constrain: rank mismatch";
+  Array.map (fun pi -> sign pi * u.(abs pi - 1)) p
+
+let preserves p udvs =
+  List.for_all (fun u -> Support.Vec.lex_nonneg (constrain p u)) udvs
+
+(* FIND-LOOP-STRUCTURE, Figure 4.  [c] is the working set of UDVs not
+   yet carried by an assigned outer loop. *)
+let find ~rank udvs =
+  let bad = List.exists (fun u -> Support.Vec.rank u <> rank) udvs in
+  if bad then invalid_arg "Loopstruct.find: UDV of wrong rank";
+  let b = Array.make rank true in
+  let p = Array.make rank 0 in
+  let c = ref udvs in
+  let exception No_solution in
+  try
+    for i = 0 to rank - 1 do
+      (* find a dimension for loop i (outermost first) *)
+      let found = ref false in
+      let j = ref 0 in
+      while (not !found) && !j < rank do
+        let dim = !j in
+        if b.(dim) then begin
+          let all_nonneg = List.for_all (fun u -> u.(dim) >= 0) !c in
+          let all_nonpos = List.for_all (fun u -> u.(dim) <= 0) !c in
+          let some_neg = List.exists (fun u -> u.(dim) < 0) !c in
+          let d =
+            if all_nonneg then 1
+            else if all_nonpos && some_neg then -1
+            else 0
+          in
+          if d <> 0 then begin
+            b.(dim) <- false;
+            p.(i) <- d * (dim + 1);
+            (* dependences carried by loop i no longer constrain inner
+               loops *)
+            c := List.filter (fun u -> u.(dim) = 0) !c;
+            found := true
+          end
+        end;
+        incr j
+      done;
+      if not !found then raise No_solution
+    done;
+    Some p
+  with No_solution -> None
+
+let pp = Support.Vec.pp

@@ -1,0 +1,37 @@
+(** Loop structure vectors (Definition 4) and FIND-LOOP-STRUCTURE
+    (paper Figure 4).
+
+    A loop structure vector [p] is a permutation of [(±1, ±2, ..., ±n)]:
+    loop [i] (1 = outermost) iterates over array dimension [|p_i|] in
+    the direction of the sign of [p_i].  A constrained distance vector
+    is recovered from an unconstrained one by
+    [d_i = sign(p_i) · u_{|p_i|}] — e.g. with [p = (-2,-1)] the UDVs
+    [(-1,0)] and [(1,-1)] of the paper's Figure 2 constrain to [(0,1)]
+    and [(1,-1)], both lexicographically nonnegative. *)
+
+type t = Support.Vec.t
+
+val default : int -> t
+(** [(1, 2, ..., n)]: the canonical row-major structure chosen for
+    unconstrained nests. *)
+
+val is_wellformed : t -> bool
+(** A permutation of [±1 .. ±n]. *)
+
+val constrain : t -> Support.Vec.t -> Support.Vec.t
+(** [constrain p u] is the constrained distance vector of [u] under
+    loop structure [p]. *)
+
+val preserves : t -> Support.Vec.t list -> bool
+(** All UDVs constrain to lexicographically nonnegative vectors, i.e.
+    the loop nest preserves every dependence (same-iteration null
+    vectors are resolved separately by statement order). *)
+
+val find : rank:int -> Support.Vec.t list -> t option
+(** FIND-LOOP-STRUCTURE.  Returns a legal loop structure vector for
+    the given intra-cluster UDVs, or [None] (the paper's NOSOLUTION).
+    Loops are assigned outermost-first; dimensions are tried in
+    ascending order so inner loops receive higher dimensions, which
+    exploits spatial locality under row-major allocation.  O(n²·e). *)
+
+val pp : Format.formatter -> t -> unit

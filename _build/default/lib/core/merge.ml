@@ -1,0 +1,167 @@
+open Ir
+
+let shift_expr d e =
+  let rec go (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Const _ | Expr.Svar _ -> e
+    | Expr.Idx i ->
+        let di = Support.Vec.get d i in
+        if di = 0 then e
+        else Expr.Binop (Expr.Add, Expr.Idx i, Expr.Const (float_of_int di))
+    | Expr.Ref (x, off) -> Expr.Ref (x, Support.Vec.add off d)
+    | Expr.Unop (op, a) -> Expr.Unop (op, go a)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go a, go b)
+    | Expr.Select (c, a, b) -> Expr.Select (go c, go a, go b)
+  in
+  go e
+
+let rec expr_cost (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Svar _ | Expr.Idx _ | Expr.Ref _ -> 0
+  | Expr.Unop (_, a) -> 1 + expr_cost a
+  | Expr.Binop (_, a, b) -> 1 + expr_cost a + expr_cost b
+  | Expr.Select (c, a, b) -> 1 + expr_cost c + expr_cost a + expr_cost b
+
+(* Does substituting [def_rhs] (shifted by each use offset) stay within
+   every referenced array's bounds over the consumer's region? *)
+let in_bounds prog region rhs =
+  List.for_all
+    (fun (y, off) ->
+      match Prog.find_array prog y with
+      | None -> false
+      | Some info -> Region.contains info.Prog.bounds (Region.shift region off))
+    (Expr.refs rhs)
+
+(* One merge attempt inside a block.  Returns the rewritten statement
+   list when some array was merged away. *)
+let merge_once prog candidates (stmts : Nstmt.t list) =
+  let arr = Array.of_list stmts in
+  let n = Array.length arr in
+  let try_array x =
+    (* exactly one definition, at offset 0 *)
+    let defs =
+      List.filter (fun i -> arr.(i).Nstmt.lhs = x) (List.init n Fun.id)
+    in
+    match defs with
+    | [ di ] when Support.Vec.is_null arr.(di).Nstmt.lhs_off
+                  && not (List.mem x (Expr.ref_names arr.(di).Nstmt.rhs)) ->
+        let def = arr.(di) in
+        let uses =
+          List.concat_map
+            (fun i ->
+              List.map
+                (fun off -> (i, off))
+                (Nstmt.reads_of arr.(i) x))
+            (List.init n Fun.id)
+        in
+        let read_arrays = Expr.ref_names def.Nstmt.rhs in
+        let values_stable i =
+          (* no statement strictly between the definition and use
+             writes an array the definition reads *)
+          let rec check k =
+            k >= i
+            || ((not (List.mem arr.(k).Nstmt.lhs read_arrays)) && check (k + 1))
+          in
+          check (di + 1)
+        in
+        let ok =
+          uses <> []
+          && List.for_all
+               (fun (i, off) ->
+                 i > di && values_stable i
+                 (* the use may only touch points the definition
+                    actually computed; outside them the original read
+                    saw older (e.g. initial) values *)
+                 && Region.contains def.Nstmt.region
+                      (Region.shift arr.(i).Nstmt.region off)
+                 (* the consumer may not write an array the substituted
+                    expression reads: that would break normal form (and
+                    semantics) *)
+                 && (not (List.mem arr.(i).Nstmt.lhs read_arrays))
+                 && in_bounds prog arr.(i).Nstmt.region
+                      (shift_expr off def.Nstmt.rhs))
+               uses
+        in
+        if ok then Some (x, di, uses) else None
+    | _ -> None
+  in
+  let rec first = function
+    | [] -> None
+    | x :: tl -> ( match try_array x with Some m -> Some m | None -> first tl)
+  in
+  match first candidates with
+  | None -> None
+  | Some (x, di, _uses) ->
+      let def = arr.(di) in
+      let rewritten =
+        List.filteri (fun i _ -> i <> di) stmts
+        |> List.map (fun (s : Nstmt.t) ->
+               Nstmt.make ~region:s.Nstmt.region ~lhs:s.Nstmt.lhs
+                 ~lhs_off:s.Nstmt.lhs_off
+                 (Expr.map_refs
+                    (fun y off ->
+                      if y = x then shift_expr off def.Nstmt.rhs
+                      else Expr.Ref (y, off))
+                    s.Nstmt.rhs))
+      in
+      Some (x, rewritten)
+
+let run ?(max_uses = 2) ?(max_cost = 8) prog =
+  let eliminated = ref [] in
+  let rec fix prog =
+    let confined = Prog.confined_arrays prog in
+    let changed = ref None in
+    let prog' =
+      Prog.map_blocks
+        (fun bi stmts ->
+          match !changed with
+          | Some _ -> List.map (fun s -> Prog.Astmt s) stmts
+          | None ->
+              let candidates =
+                List.filter_map
+                  (fun (x, b) ->
+                    if b <> bi then None
+                    else
+                      (* budget: uses x cost of the definition *)
+                      let defs =
+                        List.filter (fun (s : Nstmt.t) -> s.Nstmt.lhs = x) stmts
+                      in
+                      let uses =
+                        List.fold_left
+                          (fun acc (s : Nstmt.t) ->
+                            acc + List.length (Nstmt.reads_of s x))
+                          0 stmts
+                      in
+                      match defs with
+                      | [ d ]
+                        when uses >= 1 && uses <= max_uses
+                             && expr_cost d.Nstmt.rhs <= max_cost ->
+                          Some x
+                      | _ -> None)
+                  confined
+              in
+              (match merge_once prog candidates stmts with
+              | Some (x, stmts') ->
+                  changed := Some x;
+                  List.map (fun s -> Prog.Astmt s) stmts'
+              | None -> List.map (fun s -> Prog.Astmt s) stmts))
+        prog
+    in
+    match !changed with
+    | Some x ->
+        eliminated := x :: !eliminated;
+        (* drop the declaration *)
+        let prog' =
+          {
+            prog' with
+            Prog.arrays =
+              List.filter
+                (fun (a : Prog.array_info) -> a.Prog.name <> x)
+                prog'.Prog.arrays;
+          }
+        in
+        fix prog'
+    | None -> prog
+  in
+  let result = fix prog in
+  (result, List.rev !eliminated)

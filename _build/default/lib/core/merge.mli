@@ -1,0 +1,37 @@
+(** Statement merge (array operation synthesis).
+
+    The alternative to contraction discussed in the paper's related
+    work (§6, Hwang, Lee & Ju): substitute an intermediate array's
+    {e definition} into its uses, shifting all offsets, so the array —
+    and its defining statement — disappear without any loop fusion.
+    Unlike contraction this can duplicate computation (each use
+    re-evaluates the definition) and is not always possible; the bench
+    harness's ablation quantifies the trade against the paper's
+    fusion + contraction.
+
+    A merge of array [x] defined by [\[R\] x := e] is performed when:
+    - [x] is a candidate (confined to the block, not live-out) defined
+      by exactly one statement, at offset 0, with [e] not reading [x];
+    - no statement between the definition and a use writes an array
+      that [e] reads (the substituted expression must see the same
+      values), and no use writes one;
+    - every use reads [x] only at points the definition computed
+      (outside [R] the original read saw older values);
+    - every use offset keeps all of [e]'s shifted references inside
+      their arrays' bounds;
+    - the duplication is acceptable: [uses × cost(e) ≤ budget]
+      (defaults: at most 2 uses of a definition costing at most 8
+      operations). *)
+
+val run :
+  ?max_uses:int ->
+  ?max_cost:int ->
+  Ir.Prog.t ->
+  Ir.Prog.t * string list
+(** Apply statement merge to every basic block until no more
+    candidates qualify.  Returns the rewritten program and the arrays
+    eliminated.  The result still satisfies [Ir.Prog.validate]. *)
+
+val shift_expr : Support.Vec.t -> Ir.Expr.t -> Ir.Expr.t
+(** Re-base an elementwise expression by an offset: references get the
+    offset added; [Idx i] becomes [Idx i + d_i].  Exposed for tests. *)

@@ -1,0 +1,157 @@
+type t = {
+  asdg : Asdg.t;
+  dsu : Support.Dsu.t;
+}
+
+let trivial g = { asdg = g; dsu = Support.Dsu.create (Asdg.n g) }
+let asdg t = t.asdg
+let cluster_of t i = Support.Dsu.find t.dsu i
+let clusters t = Support.Dsu.groups t.dsu
+let members t rep = List.find (fun c -> List.hd c = rep) (clusters t)
+let n_clusters t = Support.Dsu.n_sets t.dsu
+let same_cluster t i j = Support.Dsu.same t.dsu i j
+
+let inter_cluster_edges t =
+  Asdg.edges t.asdg
+  |> List.filter_map (fun (i, j) ->
+         let ri = cluster_of t i and rj = cluster_of t j in
+         if ri = rj then None else Some (ri, rj))
+  |> List.sort_uniq compare
+
+let intra_udvs t rep =
+  Asdg.edges t.asdg
+  |> List.concat_map (fun (i, j) ->
+         if cluster_of t i = rep && cluster_of t j = rep then
+           List.map (fun (l : Dep.label) -> l.udv) (Asdg.labels t.asdg i j)
+         else [])
+
+let loop_structure t rep =
+  match members t rep with
+  | [] -> None
+  | s :: _ ->
+      let rank = Ir.Region.rank (Asdg.stmt t.asdg s).Ir.Nstmt.region in
+      Loopstruct.find ~rank (intra_udvs t rep)
+
+(* ---- cluster-level digraph helpers -------------------------------- *)
+
+(* Map representatives to dense ids for Toposort. *)
+let cluster_graph t =
+  let reps = List.map List.hd (clusters t) in
+  let id = Hashtbl.create 16 in
+  List.iteri (fun k r -> Hashtbl.add id r k) reps;
+  let edges =
+    List.map
+      (fun (a, b) -> (Hashtbl.find id a, Hashtbl.find id b))
+      (inter_cluster_edges t)
+  in
+  (Array.of_list reps, id, edges)
+
+let grow t c =
+  let reps, id, edges = cluster_graph t in
+  let n = Array.length reps in
+  let c_ids = List.map (Hashtbl.find id) c in
+  let fwd = Support.Toposort.reachable ~n ~edges ~from:c_ids in
+  let redges = List.map (fun (a, b) -> (b, a)) edges in
+  let bwd = Support.Toposort.reachable ~n ~edges:redges ~from:c_ids in
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    if fwd.(k) && bwd.(k) && not (List.mem k c_ids) then
+      out := reps.(k) :: !out
+  done;
+  !out
+
+(* ---- hypothetical merge ------------------------------------------- *)
+
+let merge t c =
+  let dsu = Support.Dsu.copy t.dsu in
+  (match c with
+  | [] -> ()
+  | first :: rest -> List.iter (fun r -> Support.Dsu.union dsu first r) rest);
+  { t with dsu }
+
+(* All statements of the given cluster set. *)
+let stmts_of t c =
+  List.concat_map (fun r -> members t r) c |> List.sort compare
+
+let udvs_within t (stmt_set : int list) =
+  let mem i = List.mem i stmt_set in
+  Asdg.edges t.asdg
+  |> List.concat_map (fun (i, j) ->
+         if mem i && mem j then
+           List.map (fun (l : Dep.label) -> l.udv) (Asdg.labels t.asdg i j)
+         else [])
+
+let flow_udvs_within t stmt_set =
+  let mem i = List.mem i stmt_set in
+  Asdg.edges t.asdg
+  |> List.concat_map (fun (i, j) ->
+         if mem i && mem j then
+           List.filter_map
+             (fun (l : Dep.label) ->
+               if l.kind = Dep.Flow then Some l.udv else None)
+             (Asdg.labels t.asdg i j)
+         else [])
+
+let acyclic t =
+  let _, _, edges = cluster_graph t in
+  not (Support.Toposort.has_cycle ~n:(n_clusters t) ~edges)
+
+(* Conditions (i), (ii) and (iv) of Definition 5 on one statement set.
+   [relax_flow] drops condition (ii) — the parallelism condition — to
+   model sequential (scalar-compiler-style) fusion; legality is still
+   guaranteed by condition (iv), since FIND-LOOP-STRUCTURE preserves
+   flow dependences like any others. *)
+let valid_stmt_set ?(relax_flow = false) t ss =
+  let g = t.asdg in
+  let regions = List.map (fun i -> (Asdg.stmt g i).Ir.Nstmt.region) ss in
+  let same_region =
+    match regions with
+    | [] -> true
+    | r0 :: rest -> List.for_all (Ir.Region.equal r0) rest
+  in
+  same_region
+  && (relax_flow
+     || List.for_all Support.Vec.is_null (flow_udvs_within t ss))
+  &&
+  match ss with
+  | [] -> true
+  | s :: _ ->
+      let rank = Ir.Region.rank (Asdg.stmt g s).Ir.Nstmt.region in
+      Loopstruct.find ~rank (udvs_within t ss) <> None
+
+let can_merge ?relax_flow t c =
+  match c with
+  | [] | [ _ ] -> true
+  | _ -> valid_stmt_set ?relax_flow t (stmts_of t c) && acyclic (merge t c)
+
+let contractible t x ~within =
+  let cluster_set = List.sort_uniq compare within in
+  Asdg.deps_on t.asdg x
+  |> List.for_all (fun ((i, j), (l : Dep.label)) ->
+         List.mem (cluster_of t i) cluster_set
+         && List.mem (cluster_of t j) cluster_set
+         && Support.Vec.is_null l.udv)
+
+let is_valid ?relax_flow t =
+  List.for_all (fun c -> valid_stmt_set ?relax_flow t c) (clusters t)
+  && acyclic t
+
+let first_ref_is_write t x =
+  match Asdg.stmts_referencing t.asdg x with
+  | [] -> false
+  | i :: _ -> (Asdg.stmt t.asdg i).Ir.Nstmt.lhs = x
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "P%d = {%a}%s@," (List.hd c)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf i -> Format.fprintf ppf "s%d" i))
+        c
+        (match loop_structure t (List.hd c) with
+        | Some p -> Format.asprintf "  p=%a" Loopstruct.pp p
+        | None -> "  p=NOSOLUTION"))
+    (clusters t);
+  Format.fprintf ppf "@]"

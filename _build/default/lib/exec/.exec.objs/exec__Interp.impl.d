@@ -1,0 +1,1 @@
+lib/exec/interp.ml: Array Code Hashtbl Int64 Ir List Printf Sir

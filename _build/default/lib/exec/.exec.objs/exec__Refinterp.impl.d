@@ -1,0 +1,1 @@
+lib/exec/refinterp.ml: Array Expr Hashtbl Int64 Ir List Nstmt Printf Prog Region

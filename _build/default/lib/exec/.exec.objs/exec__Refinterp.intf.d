@@ -1,0 +1,1 @@
+lib/exec/refinterp.mli: Ir

@@ -1,0 +1,204 @@
+open Sir
+
+type counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable iters : int;
+}
+
+exception Runtime_error of string
+
+type arr = {
+  data : float array;
+  dims : (int * int) array;
+  strides : int array;
+  base : int;  (** element base address of this allocation *)
+}
+
+type result = {
+  arrays : (string, arr) Hashtbl.t;
+  scalars : (string, float) Hashtbl.t;
+  live_out : string list;
+  cnt : counters;
+}
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let mk_arr base (a : Code.alloc) =
+  let n = Array.length a.dims in
+  let strides = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    let lo, hi = a.dims.(d + 1) in
+    strides.(d) <- strides.(d + 1) * max 0 (hi - lo + 1)
+  done;
+  {
+    data = Array.make (max 1 (Code.alloc_volume a)) 0.0;
+    dims = a.dims;
+    strides;
+    base;
+  }
+
+let flat_index name arr idx =
+  let n = Array.length arr.dims in
+  if Array.length idx <> n then
+    err "%s: rank %d subscript on rank %d array" name (Array.length idx) n;
+  let flat = ref 0 in
+  for d = 0 to n - 1 do
+    let lo, hi = arr.dims.(d) in
+    let x = idx.(d) in
+    if x < lo || x > hi then
+      err "%s: subscript %d out of bounds [%d..%d] in dim %d" name x lo hi
+        (d + 1);
+    flat := !flat + ((x - lo) * arr.strides.(d))
+  done;
+  !flat
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  res : result;
+  trace : (addr:int -> write:bool -> unit) option;
+}
+
+let get_scalar_tbl st name =
+  match Hashtbl.find_opt st.res.scalars name with
+  | Some v -> v
+  | None -> err "undefined scalar %s" name
+
+let eval_subs st (subs : Code.subscript array) =
+  Array.map
+    (fun (s : Code.subscript) ->
+      if s.base = "" then s.off
+      else
+        let v = get_scalar_tbl st s.base in
+        int_of_float v + s.off)
+    subs
+
+let find_arr st name =
+  match Hashtbl.find_opt st.res.arrays name with
+  | Some a -> a
+  | None -> err "undefined (or contracted) array %s" name
+
+let touch st arr flat ~write =
+  match st.trace with
+  | None -> ()
+  | Some f -> f ~addr:((arr.base + flat) * 8) ~write
+
+let is_flop : Ir.Expr.binop -> bool = function
+  | Add | Sub | Mul | Div | Pow | Min | Max -> true
+  | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> false
+
+let rec eval st (e : Code.expr) : float =
+  match e with
+  | Const f -> f
+  | Scalar s -> get_scalar_tbl st s
+  | Load (x, subs) ->
+      let arr = find_arr st x in
+      let flat = flat_index x arr (eval_subs st subs) in
+      st.res.cnt.loads <- st.res.cnt.loads + 1;
+      touch st arr flat ~write:false;
+      arr.data.(flat)
+  | Unop (op, a) ->
+      let va = eval st a in
+      st.res.cnt.flops <- st.res.cnt.flops + 1;
+      Ir.Expr.apply_unop op va
+  | Binop (op, a, b) ->
+      let va = eval st a in
+      let vb = eval st b in
+      if is_flop op then st.res.cnt.flops <- st.res.cnt.flops + 1;
+      Ir.Expr.apply_binop op va vb
+  | Select (c, a, b) ->
+      (* both branches are evaluated: elementwise Select is a blend,
+         not control flow, matching array-language semantics *)
+      let vc = eval st c in
+      let va = eval st a in
+      let vb = eval st b in
+      if vc <> 0.0 then va else vb
+
+let rec exec st (s : Code.stmt) =
+  match s with
+  | Sassign (x, e) ->
+      let v = eval st e in
+      Hashtbl.replace st.res.scalars x v
+  | Store (x, subs, e) ->
+      let v = eval st e in
+      let arr = find_arr st x in
+      let flat = flat_index x arr (eval_subs st subs) in
+      st.res.cnt.stores <- st.res.cnt.stores + 1;
+      st.res.cnt.iters <- st.res.cnt.iters + 1;
+      touch st arr flat ~write:true;
+      arr.data.(flat) <- v
+  | For { var; lo; hi; step; body } ->
+      if step >= 0 then
+        for i = lo to hi do
+          Hashtbl.replace st.res.scalars var (float_of_int i);
+          List.iter (exec st) body
+        done
+      else
+        for i = hi downto lo do
+          Hashtbl.replace st.res.scalars var (float_of_int i);
+          List.iter (exec st) body
+        done
+
+let run ?trace (p : Code.program) =
+  let res =
+    {
+      arrays = Hashtbl.create 16;
+      scalars = Hashtbl.create 16;
+      live_out = p.live_out;
+      cnt = { loads = 0; stores = 0; flops = 0; iters = 0 };
+    }
+  in
+  let base = ref 0 in
+  List.iter
+    (fun (a : Code.alloc) ->
+      Hashtbl.replace res.arrays a.name (mk_arr !base a);
+      (* pad allocations apart so distinct arrays never share a line *)
+      base := !base + Code.alloc_volume a + 8)
+    p.allocs;
+  List.iter (fun (s, v) -> Hashtbl.replace res.scalars s v) p.scalars;
+  let st = { res; trace } in
+  List.iter (exec st) p.body;
+  res
+
+let counters r = r.cnt
+
+let get_scalar r name =
+  match Hashtbl.find_opt r.scalars name with
+  | Some v -> v
+  | None -> err "undefined scalar %s" name
+
+let get_array r name =
+  match Hashtbl.find_opt r.arrays name with
+  | Some a -> Array.copy a.data
+  | None -> err "undefined (or contracted) array %s" name
+
+let read_point r name idx =
+  match Hashtbl.find_opt r.arrays name with
+  | Some a -> a.data.(flat_index name a idx)
+  | None -> err "undefined (or contracted) array %s" name
+
+let checksum r =
+  let digest = ref 0L in
+  let mix v =
+    let bits = Int64.bits_of_float v in
+    digest :=
+      Int64.add
+        (Int64.mul !digest 6364136223846793005L)
+        (Int64.logxor bits 1442695040888963407L)
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt r.arrays name with
+      | Some a -> Array.iter mix a.data
+      | None -> (
+          match Hashtbl.find_opt r.scalars name with
+          | Some v -> mix v
+          | None -> err "live-out %s not found" name))
+    r.live_out;
+  Printf.sprintf "%016Lx" !digest
+
+let footprint_bytes p = 8 * Code.program_elements p

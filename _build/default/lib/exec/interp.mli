@@ -1,0 +1,52 @@
+(** Instrumented interpreter for the scalar IR.
+
+    Executes a {!Sir.Code.program} exactly as the generated loop nests
+    prescribe, while counting array loads/stores and floating-point
+    operations and (optionally) emitting the full memory-reference
+    trace.  The trace feeds the cache simulator: contracted arrays have
+    become scalars, so their former references produce {e no} memory
+    traffic — precisely the effect the paper measures.
+
+    Array elements are modelled as 8-byte doubles laid out row-major;
+    each allocation gets a disjoint base address.  Out-of-bounds
+    subscripts raise — the interpreter doubles as a scalarizer
+    validator. *)
+
+type counters = {
+  mutable loads : int;  (** array element reads *)
+  mutable stores : int;  (** array element writes *)
+  mutable flops : int;  (** arithmetic operations *)
+  mutable iters : int;  (** innermost statement executions *)
+}
+
+type result
+
+exception Runtime_error of string
+
+val run :
+  ?trace:(addr:int -> write:bool -> unit) ->
+  Sir.Code.program ->
+  result
+(** Execute the program on zero-initialized arrays.  [trace] receives
+    the byte address of every array element access, in execution
+    order. *)
+
+val counters : result -> counters
+
+val get_scalar : result -> string -> float
+(** Final value of a scalar (including contraction temporaries).
+    Raises [Runtime_error] if undefined. *)
+
+val get_array : result -> string -> float array
+(** Final contents of an allocated array, row-major.  Raises
+    [Runtime_error] if the array was contracted away or undeclared. *)
+
+val read_point : result -> string -> int array -> float
+(** One element by its original (bounds-relative) index. *)
+
+val checksum : result -> string
+(** Order-independent-of-nothing digest of all live-out values — two
+    observationally equivalent runs produce identical checksums. *)
+
+val footprint_bytes : Sir.Code.program -> int
+(** Bytes of array storage the program allocates (8 per element). *)

@@ -1,0 +1,24 @@
+(** Reference interpreter for array-level programs.
+
+    Executes an {!Ir.Prog.t} directly under array-language semantics,
+    with no fusion, contraction or scalarization involved — the
+    semantic oracle against which every compiled configuration is
+    checked.  Elementwise statements are evaluated point-by-point in
+    row-major order; because normal form forbids reading the written
+    array, in-place evaluation is exact.  Reductions accumulate in
+    row-major order, matching the loop order the scalarizer emits, so
+    results are bitwise identical to compiled runs. *)
+
+type result
+
+exception Runtime_error of string
+
+val run : Ir.Prog.t -> result
+
+val get_scalar : result -> string -> float
+val get_array : result -> string -> float array
+(** Row-major contents over the array's allocation bounds. *)
+
+val checksum : result -> string
+(** Same digest algorithm as {!Interp.checksum}: equal strings mean
+    observational equivalence on the live-out set. *)

@@ -1,0 +1,1 @@
+lib/ir/nstmt.ml: Expr Format List Printf Region Support

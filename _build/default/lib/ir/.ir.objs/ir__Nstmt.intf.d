@@ -1,0 +1,1 @@
+lib/ir/nstmt.mli: Expr Format Region Support

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Expr Format Hashtbl List Nstmt Printf Region String Support

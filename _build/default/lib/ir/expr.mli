@@ -1,0 +1,67 @@
+(** Elementwise expressions.
+
+    The right-hand side of a normalized array statement is an
+    elementwise function [f(A1@d1, ..., As@ds)] of array references at
+    constant offsets, scalar variables, constants and the point's own
+    index.  Booleans are represented as floats (0. / 1.), with [Select]
+    providing elementwise conditional choice, so a single value domain
+    (float) suffices for the whole pipeline. *)
+
+type unop =
+  | Neg
+  | Sqrt
+  | Exp
+  | Log
+  | Sin
+  | Cos
+  | Abs
+  | Floor
+  | Not  (** logical negation of a 0/1 float *)
+  | Hashrand
+      (** [Hashrand x] is a uniform deviate in (0,1) that is a pure
+          function of [x] — a deterministic stand-in for per-element
+          random number generation (used by the EP benchmark).  Being
+          index-determined, it is invariant under any reordering of the
+          iteration space, so fusion and loop restructuring preserve
+          program results exactly. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Pow
+  | Min | Max
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type t =
+  | Const of float
+  | Svar of string  (** scalar variable (config, induction or reduction result) *)
+  | Ref of string * Support.Vec.t  (** array reference [A@d] *)
+  | Idx of int  (** value of the region index in dimension [i] (1-based), as a float *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Select of t * t * t  (** [Select (c, a, b)] is [a] where [c <> 0.], else [b] *)
+
+val refs : t -> (string * Support.Vec.t) list
+(** All array references, left-to-right, with duplicates preserved
+    (reference counts feed the contraction weight w(x,G)). *)
+
+val ref_names : t -> string list
+(** Distinct array names referenced. *)
+
+val svars : t -> string list
+(** Distinct scalar variables read. *)
+
+val map_refs : (string -> Support.Vec.t -> t) -> t -> t
+(** Rebuild the expression, replacing every array reference. *)
+
+val rank_consistent : rank:int -> t -> bool
+(** All reference offsets (and [Idx] dimensions) agree with [rank]. *)
+
+val apply_unop : unop -> float -> float
+val apply_binop : binop -> float -> float -> float
+
+val hashrand : float -> float
+(** The pure PRN function behind [Hashrand] (exposed for tests and for
+    scalar-language reference implementations of the benchmarks). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

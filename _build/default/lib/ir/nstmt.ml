@@ -1,0 +1,59 @@
+type t = {
+  region : Region.t;
+  lhs : string;
+  lhs_off : Support.Vec.t;
+  rhs : Expr.t;
+}
+
+let validate t =
+  let rank = Region.rank t.region in
+  if Support.Vec.rank t.lhs_off <> rank then
+    Error
+      (Printf.sprintf "lhs offset rank %d differs from region rank %d"
+         (Support.Vec.rank t.lhs_off) rank)
+  else if not (Expr.rank_consistent ~rank t.rhs) then
+    Error "rhs reference of mismatched rank"
+  else if List.mem t.lhs (Expr.ref_names t.rhs) then
+    Error
+      (Printf.sprintf "array %s is both read and written (not normal form)"
+         t.lhs)
+  else Ok ()
+
+let make ~region ~lhs ?lhs_off rhs =
+  let lhs_off =
+    match lhs_off with
+    | Some d -> d
+    | None -> Support.Vec.zero (Region.rank region)
+  in
+  let t = { region; lhs; lhs_off; rhs } in
+  match validate t with
+  | Ok () -> t
+  | Error msg -> invalid_arg ("Nstmt.make: " ^ msg)
+
+let arrays t =
+  let rhs = Expr.ref_names t.rhs in
+  t.lhs :: List.filter (fun x -> x <> t.lhs) rhs
+
+let reads_of t x =
+  List.filter_map
+    (fun (y, d) -> if y = x then Some d else None)
+    (Expr.refs t.rhs)
+
+let writes_of t x = if t.lhs = x then [ t.lhs_off ] else []
+
+let ref_count t x = List.length (reads_of t x) + List.length (writes_of t x)
+
+let rename f t =
+  {
+    t with
+    lhs = f t.lhs;
+    rhs = Expr.map_refs (fun x d -> Expr.Ref (f x, d)) t.rhs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%a %s%s := %a" Region.pp t.region t.lhs
+    (if Support.Vec.is_null t.lhs_off then ""
+     else "@" ^ Support.Vec.to_string t.lhs_off)
+    Expr.pp t.rhs
+
+let to_string t = Format.asprintf "%a" pp t

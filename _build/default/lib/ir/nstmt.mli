@@ -1,0 +1,45 @@
+(** Normalized array statements (paper §2.1).
+
+    [[R] X@d0 := f(A1@d1, ..., As@ds)] — an elementwise operation whose
+    extent is the region [R]; every array is referenced at a constant
+    offset from the region's index.  Normal-form conditions:
+    {ol
+    {- the written array is not also read (the frontend inserts a
+       compiler temporary otherwise);}
+    {- all arrays have the region's rank;}
+    {- all subscripts are constant offsets (implied by representation).}} *)
+
+type t = {
+  region : Region.t;
+  lhs : string;  (** array written *)
+  lhs_off : Support.Vec.t;  (** write offset; null for almost all statements *)
+  rhs : Expr.t;
+}
+
+val make : region:Region.t -> lhs:string -> ?lhs_off:Support.Vec.t -> Expr.t -> t
+(** Builds a statement and validates normal form; raises
+    [Invalid_argument] when the statement reads its own left-hand side
+    or mixes ranks. *)
+
+val validate : t -> (unit, string) result
+(** Explains the first normal-form violation, if any. *)
+
+val arrays : t -> string list
+(** Distinct arrays referenced (lhs first). *)
+
+val reads_of : t -> string -> Support.Vec.t list
+(** Offsets at which the statement reads the given array (with
+    duplicates, for reference weighting). *)
+
+val writes_of : t -> string -> Support.Vec.t list
+(** Offsets at which the statement writes the given array ([[]] or a
+    singleton). *)
+
+val ref_count : t -> string -> int
+(** Number of textual references (reads + writes) to the array. *)
+
+val rename : (string -> string) -> t -> t
+(** Rename arrays throughout (used when inserting temporaries). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

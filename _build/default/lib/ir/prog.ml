@@ -1,0 +1,343 @@
+type array_kind = User | Compiler
+
+type array_info = {
+  name : string;
+  bounds : Region.t;
+  kind : array_kind;
+}
+
+type redop = Rsum | Rprod | Rmin | Rmax
+
+type stmt =
+  | Astmt of Nstmt.t
+  | Reduce of { target : string; op : redop; region : Region.t; arg : Expr.t }
+  | Sassign of string * Expr.t
+  | Sloop of { var : string; lo : int; hi : int; body : stmt list }
+
+type t = {
+  name : string;
+  arrays : array_info list;
+  scalars : (string * float) list;
+  body : stmt list;
+  live_out : string list;
+}
+
+let find_array t x = List.find_opt (fun (a : array_info) -> a.name = x) t.arrays
+let array_names t = List.map (fun (a : array_info) -> a.name) t.arrays
+let is_live_out t x = List.mem x t.live_out
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_ref t region (x, off) =
+  match find_array t x with
+  | None -> Error (Printf.sprintf "undeclared array %s" x)
+  | Some info ->
+      if Support.Vec.rank off <> Region.rank region then
+        Error (Printf.sprintf "reference %s: offset rank mismatch" x)
+      else if Region.rank info.bounds <> Region.rank region then
+        Error
+          (Printf.sprintf "reference %s: array rank %d, statement rank %d" x
+             (Region.rank info.bounds) (Region.rank region))
+      else if not (Region.contains info.bounds (Region.shift region off)) then
+        Error
+          (Printf.sprintf "reference %s%s over %s escapes bounds %s" x
+             (Support.Vec.to_string off) (Region.to_string region)
+             (Region.to_string info.bounds))
+      else Ok ()
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: tl -> ( match f x with Ok () -> check_all f tl | e -> e)
+
+let check_scalars_in_scope scope e =
+  check_all
+    (fun s ->
+      if List.mem s scope then Ok ()
+      else Error (Printf.sprintf "undeclared scalar %s" s))
+    (Expr.svars e)
+
+let validate t =
+  let rec go scope = function
+    | [] -> Ok ()
+    | Astmt s :: tl -> (
+        if Region.is_empty s.Nstmt.region then
+          Error (Printf.sprintf "empty region in %s" (Nstmt.to_string s))
+        else
+          let refs =
+            ((s.Nstmt.lhs, s.Nstmt.lhs_off) :: Expr.refs s.Nstmt.rhs)
+          in
+          match check_all (check_ref t s.Nstmt.region) refs with
+          | Error _ as e -> e
+          | Ok () -> (
+              match check_scalars_in_scope scope s.Nstmt.rhs with
+              | Error _ as e -> e
+              | Ok () -> go scope tl))
+    | Reduce { target; region; arg; _ } :: tl -> (
+        if not (List.mem target scope) then
+          Error (Printf.sprintf "undeclared reduction target %s" target)
+        else
+          match check_all (check_ref t region) (Expr.refs arg) with
+          | Error _ as e -> e
+          | Ok () -> (
+              match check_scalars_in_scope scope arg with
+              | Error _ as e -> e
+              | Ok () -> go scope tl))
+    | Sassign (x, e) :: tl ->
+        if not (List.mem x scope) then
+          Error (Printf.sprintf "undeclared scalar %s" x)
+        else if Expr.refs e <> [] then
+          Error
+            (Printf.sprintf "scalar assignment to %s references an array" x)
+        else (
+          match check_scalars_in_scope scope e with
+          | Error _ as e -> e
+          | Ok () -> go scope tl)
+    | Sloop { var; body; _ } :: tl -> (
+        match go (var :: scope) body with
+        | Error _ as e -> e
+        | Ok () -> go scope tl)
+  in
+  let dup names =
+    let sorted = List.sort compare names in
+    let rec first_dup = function
+      | a :: b :: _ when a = b -> Some a
+      | _ :: tl -> first_dup tl
+      | [] -> None
+    in
+    first_dup sorted
+  in
+  match dup (array_names t @ List.map fst t.scalars) with
+  | Some d -> Error (Printf.sprintf "duplicate declaration %s" d)
+  | None -> go (List.map fst t.scalars) t.body
+
+(* ------------------------------------------------------------------ *)
+(* Basic blocks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let blocks t =
+  let out = ref [] in
+  let cur = ref [] in
+  let flush () =
+    if !cur <> [] then begin
+      out := List.rev !cur :: !out;
+      cur := []
+    end
+  in
+  let rec go = function
+    | [] -> flush ()
+    | Astmt s :: tl ->
+        cur := s :: !cur;
+        go tl
+    | Sloop { body; _ } :: tl ->
+        flush ();
+        go body;
+        flush ();
+        go tl
+    | (Reduce _ | Sassign _) :: tl ->
+        flush ();
+        go tl
+  in
+  go t.body;
+  List.rev !out
+
+let map_blocks f t =
+  let idx = ref (-1) in
+  let rewrite run =
+    incr idx;
+    f !idx (List.rev run)
+  in
+  let rec go acc cur = function
+    | [] ->
+        let acc = if cur <> [] then List.rev_append (rewrite cur) acc else acc in
+        List.rev acc
+    | Astmt s :: tl -> go acc (s :: cur) tl
+    | Sloop { var; lo; hi; body } :: tl ->
+        let acc =
+          if cur <> [] then List.rev_append (rewrite cur) acc else acc
+        in
+        let body' = go [] [] body in
+        go (Sloop { var; lo; hi; body = body' } :: acc) [] tl
+    | ((Reduce _ | Sassign _) as s) :: tl ->
+        let acc =
+          if cur <> [] then List.rev_append (rewrite cur) acc else acc
+        in
+        go (s :: acc) [] tl
+  in
+  { t with body = go [] [] t.body }
+
+let block_of_ref t x =
+  let in_blocks =
+    blocks t
+    |> List.mapi (fun i run -> (i, run))
+    |> List.filter_map (fun (i, run) ->
+           if List.exists (fun s -> List.mem x (Nstmt.arrays s)) run then
+             Some i
+           else None)
+  in
+  let outside = ref false in
+  let rec scan = function
+    | [] -> ()
+    | Reduce { arg; _ } :: tl ->
+        if List.mem x (Expr.ref_names arg) then outside := true;
+        scan tl
+    | Sloop { body; _ } :: tl ->
+        scan body;
+        scan tl
+    | (Astmt _ | Sassign _) :: tl -> scan tl
+  in
+  scan t.body;
+  (in_blocks, !outside)
+
+let reduce_stmts t =
+  let out = ref [] in
+  let rec scan = function
+    | [] -> ()
+    | Reduce { target; op; region; arg } :: tl ->
+        out := (op, region, target, arg) :: !out;
+        scan tl
+    | Sloop { body; _ } :: tl ->
+        scan body;
+        scan tl
+    | (Astmt _ | Sassign _) :: tl -> scan tl
+  in
+  scan t.body;
+  List.rev !out
+
+(* Blocks and reduces share one traversal (the same order [blocks] and
+   [reduce_stmts] use); a reduce trails a block when it follows the
+   block's final Astmt with no other statement in between. *)
+let trailing_reduces t =
+  let out = ref [] in
+  let block_idx = ref (-1) in
+  let reduce_idx = ref (-1) in
+  let rec go in_run trailing = function
+    | [] -> ()
+    | Astmt _ :: tl ->
+        if not in_run then incr block_idx;
+        go true false tl
+    | Reduce _ :: tl ->
+        incr reduce_idx;
+        (* trailing iff we just left an Astmt run, or we are continuing
+           a run of trailing reduces *)
+        if in_run || trailing then
+          out := (!block_idx, !reduce_idx) :: !out;
+        go false (in_run || trailing) tl
+    | Sloop { body; _ } :: tl ->
+        go false false body;
+        go false false tl
+    | Sassign _ :: tl -> go false false tl
+  in
+  go false false t.body;
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (b, r) ->
+      let cur = try Hashtbl.find tbl b with Not_found -> [] in
+      Hashtbl.replace tbl b (r :: cur))
+    !out;
+  Hashtbl.fold (fun b rs acc -> (b, List.sort compare rs) :: acc) tbl []
+  |> List.sort compare
+
+let confined_arrays_allowing_reduces t allow =
+  let reduces = Array.of_list (reduce_stmts t) in
+  let reduce_reads_x ri x =
+    let _, _, _, arg = reduces.(ri) in
+    List.mem x (Expr.ref_names arg)
+  in
+  let n_reduces = Array.length reduces in
+  List.filter_map
+    (fun (info : array_info) ->
+      let x = info.name in
+      if is_live_out t x then None
+      else
+        match block_of_ref t x with
+        | [ b ], outside ->
+            if not outside then Some (x, b)
+            else
+              let allowed = allow b in
+              let ok = ref true in
+              for ri = 0 to n_reduces - 1 do
+                if reduce_reads_x ri x && not (List.mem ri allowed) then
+                  ok := false
+              done;
+              if !ok then Some (x, b) else None
+        | _ -> None)
+    t.arrays
+
+let confined_arrays t =
+  List.filter_map
+    (fun (info : array_info) ->
+      let x = info.name in
+      if is_live_out t x then None
+      else
+        match block_of_ref t x with
+        | [ b ], false -> Some (x, b)
+        | _ -> None)
+    t.arrays
+
+let static_array_counts t =
+  List.fold_left
+    (fun (c, u) a ->
+      match a.kind with Compiler -> (c + 1, u) | User -> (c, u + 1))
+    (0, 0) t.arrays
+
+let rename_array t ~old ~new_ =
+  let rn x = if x = old then new_ else x in
+  let rec go_stmt = function
+    | Astmt s -> Astmt (Nstmt.rename rn s)
+    | Reduce r ->
+        Reduce
+          { r with arg = Expr.map_refs (fun x d -> Expr.Ref (rn x, d)) r.arg }
+    | Sassign _ as s -> s
+    | Sloop l -> Sloop { l with body = List.map go_stmt l.body }
+  in
+  {
+    t with
+    arrays =
+      List.map (fun (a : array_info) -> { a with name = rn a.name }) t.arrays;
+    body = List.map go_stmt t.body;
+    live_out = List.map rn t.live_out;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_redop ppf op =
+  Format.pp_print_string ppf
+    (match op with Rsum -> "+<<" | Rprod -> "*<<" | Rmin -> "min<<" | Rmax -> "max<<")
+
+let rec pp_stmt indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Astmt s -> Format.fprintf ppf "%s%a;" pad Nstmt.pp s
+  | Reduce { target; op; region; arg } ->
+      Format.fprintf ppf "%s%s := %a %a %a;" pad target pp_redop op Region.pp
+        region Expr.pp arg
+  | Sassign (x, e) -> Format.fprintf ppf "%s%s := %a;" pad x Expr.pp e
+  | Sloop { var; lo; hi; body } ->
+      Format.fprintf ppf "%sfor %s := %d to %d do@\n%a@\n%send;" pad var lo hi
+        (pp_body (indent + 2))
+        body pad
+
+and pp_body indent ppf body =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+    (pp_stmt indent) ppf body
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s;@," t.name;
+  List.iter
+    (fun (a : array_info) ->
+      Format.fprintf ppf "var %s : %a%s;@," a.name Region.pp a.bounds
+        (match a.kind with Compiler -> "  /* compiler temp */" | User -> ""))
+    t.arrays;
+  List.iter
+    (fun (s, v) -> Format.fprintf ppf "scalar %s := %g;@," s v)
+    t.scalars;
+  Format.fprintf ppf "begin@,%a@,end. /* live out: %s */@]"
+    (pp_body 2) t.body
+    (String.concat ", " t.live_out)
+
+let to_string t = Format.asprintf "%a" pp t

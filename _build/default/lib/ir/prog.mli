@@ -1,0 +1,96 @@
+(** Whole programs at the array level.
+
+    A program is a sequence of statements over declared arrays and
+    scalars.  Normalized array statements ([Astmt]) are the unit of
+    fusion and contraction; reductions, scalar assignments and
+    sequential loops delimit the basic blocks on which the optimizer
+    runs.  This mirrors the paper's setting: an ASDG "represents a
+    single basic block at the array statement level". *)
+
+type array_kind =
+  | User  (** declared in the source program *)
+  | Compiler  (** temporary inserted during normalization *)
+
+type array_info = {
+  name : string;
+  bounds : Region.t;  (** allocation domain (includes any border padding) *)
+  kind : array_kind;
+}
+
+type redop = Rsum | Rprod | Rmin | Rmax
+
+type stmt =
+  | Astmt of Nstmt.t
+  | Reduce of { target : string; op : redop; region : Region.t; arg : Expr.t }
+      (** full-region reduction into a scalar, e.g. [s := +<< \[R\] e] *)
+  | Sassign of string * Expr.t
+      (** scalar assignment; the expression may not reference arrays *)
+  | Sloop of { var : string; lo : int; hi : int; body : stmt list }
+      (** sequential (time-step) loop; the induction variable is read
+          as a scalar inside the body *)
+
+type t = {
+  name : string;
+  arrays : array_info list;
+  scalars : (string * float) list;  (** declared scalars with initial values *)
+  body : stmt list;
+  live_out : string list;
+      (** arrays and scalars observable after the program ends; arrays
+          listed here are never contracted *)
+}
+
+val find_array : t -> string -> array_info option
+val array_names : t -> string list
+val is_live_out : t -> string -> bool
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: every referenced array/scalar is
+    declared (loop variables are in scope within their loop); every
+    array reference of every statement stays within the referenced
+    array's allocation bounds; scalar assignments reference no arrays;
+    statement regions are nonempty. *)
+
+val blocks : t -> Nstmt.t list list
+(** All maximal runs of consecutive [Astmt]s, in execution-syntax
+    order (loops are entered but each block is listed once).  Block
+    indices used throughout the optimizer refer to positions in this
+    list. *)
+
+val map_blocks : (int -> Nstmt.t list -> stmt list) -> t -> t
+(** Rewrite each maximal [Astmt] run, by block index; other statements
+    are preserved. *)
+
+val block_of_ref : t -> string -> int list * bool
+(** [block_of_ref p x] is [(bs, outside)]: the block indices in which
+    array [x] is referenced, and whether [x] is also referenced outside
+    any block (in a reduction). *)
+
+val confined_arrays : t -> (string * int) list
+(** Arrays whose every reference occurs in exactly one block and that
+    are not live-out: the global precondition for contraction.  Pairs
+    the array with its block index. *)
+
+val reduce_stmts : t -> (redop * Region.t * string * Expr.t) list
+(** All reductions in traversal order (the order used by reduce
+    indices): [(op, region, target, arg)]. *)
+
+val trailing_reduces : t -> (int * int list) list
+(** For each block, the indices (into {!reduce_stmts}) of the
+    reductions that {e immediately} follow it in the same statement
+    list — the candidates for reduction fusion into the block's final
+    loop nest. *)
+
+val confined_arrays_allowing_reduces : t -> (int -> int list) -> (string * int) list
+(** Like {!confined_arrays}, but an array may additionally be read by
+    reductions: [allow b] lists the reduce indices treated as part of
+    block [b] (because the optimizer absorbs them into its final
+    cluster).  Used to extend contraction candidacy under reduction
+    fusion. *)
+
+val static_array_counts : t -> int * int
+(** [(compiler, user)] static array declaration counts (Figure 7). *)
+
+val rename_array : t -> old:string -> new_:string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  l1 : Cachesim.Cache.config;
+  l2 : Cachesim.Cache.config option;
+  flop_ns : float;
+  l1_hit_ns : float;
+  l1_miss_ns : float;
+  l2_miss_ns : float;
+  msg_latency_ns : float;
+  byte_ns : float;
+  node_memory_bytes : int;
+}
+
+let mib n = n * 1024 * 1024
+
+(* Cray T3E-900: DEC Alpha 21164 at 450 MHz.  8 KB direct-mapped L1,
+   96 KB 3-way L2, very fast interconnect (~1 us latency, ~300 MB/s
+   effective per-link bandwidth). *)
+let t3e =
+  {
+    name = "Cray T3E";
+    l1 = { Cachesim.Cache.size_bytes = 8 * 1024; line_bytes = 32; assoc = 1 };
+    l2 = Some { Cachesim.Cache.size_bytes = 96 * 1024; line_bytes = 64; assoc = 3 };
+    flop_ns = 2.2;
+    l1_hit_ns = 2.2;
+    l1_miss_ns = 18.0;
+    l2_miss_ns = 80.0;
+    msg_latency_ns = 1_000.0;
+    byte_ns = 3.3;  (* ~300 MB/s *)
+    node_memory_bytes = mib 256;
+  }
+
+(* IBM SP-2: 120 MHz POWER2 Super Chip.  Single large 128 KB 4-way data
+   cache with long 256-byte lines; no L2; slow adapter-based network
+   (~40 us latency, ~35 MB/s). *)
+let sp2 =
+  {
+    name = "IBM SP-2";
+    l1 = { Cachesim.Cache.size_bytes = 128 * 1024; line_bytes = 256; assoc = 4 };
+    l2 = None;
+    flop_ns = 4.2;  (* superscalar FPU: < 1 cycle effective per flop *)
+    l1_hit_ns = 8.3;
+    l1_miss_ns = 150.0;
+    l2_miss_ns = 0.0;
+    msg_latency_ns = 40_000.0;
+    byte_ns = 28.0;  (* ~35 MB/s *)
+    node_memory_bytes = mib 256;
+  }
+
+(* Intel Paragon: 75 MHz i860 XP.  8 KB 2-way data cache, modest memory
+   system, mesh network with high software overhead (~70 us latency,
+   ~80 MB/s hardware but ~30 MB/s realized). *)
+let paragon =
+  {
+    name = "Intel Paragon";
+    l1 = { Cachesim.Cache.size_bytes = 8 * 1024; line_bytes = 32; assoc = 2 };
+    l2 = None;
+    flop_ns = 13.3;
+    l1_hit_ns = 13.3;
+    l1_miss_ns = 160.0;
+    l2_miss_ns = 0.0;
+    msg_latency_ns = 70_000.0;
+    byte_ns = 33.0;  (* ~30 MB/s *)
+    node_memory_bytes = mib 32;
+  }
+
+let all = [ t3e; sp2; paragon ]
+
+let by_name n = List.find_opt (fun m -> m.name = n) all
+
+type activity = {
+  flops : int;
+  l1_accesses : int;
+  l1_misses : int;
+  l2_misses : int;
+  comm_ns : float;
+}
+
+let time_ns m a =
+  (float_of_int a.flops *. m.flop_ns)
+  +. (float_of_int a.l1_accesses *. m.l1_hit_ns)
+  +. (float_of_int a.l1_misses *. m.l1_miss_ns)
+  +. (float_of_int a.l2_misses *. m.l2_miss_ns)
+  +. a.comm_ns
+
+let fits m ~bytes = bytes <= m.node_memory_bytes

@@ -1,0 +1,50 @@
+(** Models of the paper's three evaluation machines.
+
+    Cache geometries follow the paper's hardware descriptions (§5):
+    - Cray T3E: 450 MHz Alpha 21164, 8 KB L1 + 96 KB L2, 256 MB/node;
+    - IBM SP-2: 120 MHz POWER2 SC, 128 KB data cache, 256 MB/node;
+    - Intel Paragon: 75 MHz i860, 8 KB data cache, 32 MB/node.
+
+    Cost coefficients (per-flop time, miss penalties, message latency
+    α and per-byte cost β) are modelled from the machines' published
+    characteristics; DESIGN.md documents this substitution.  The model
+    deliberately captures the machines' {e contrasts} — the T3E's
+    deep cache hierarchy and fast network, the SP-2's single large
+    cache and slow network, the Paragon's tiny cache — which drive the
+    per-machine trends in the paper's Figures 9–11. *)
+
+type t = {
+  name : string;
+  l1 : Cachesim.Cache.config;
+  l2 : Cachesim.Cache.config option;
+  flop_ns : float;  (** cost of one floating-point operation *)
+  l1_hit_ns : float;  (** access cost paid by every reference *)
+  l1_miss_ns : float;  (** additional penalty for an L1 miss served by L2 (or memory when no L2) *)
+  l2_miss_ns : float;  (** additional penalty for an L2 miss *)
+  msg_latency_ns : float;  (** α: fixed per-message software + wire latency *)
+  byte_ns : float;  (** β: per-byte transfer cost *)
+  node_memory_bytes : int;  (** memory available for array allocation *)
+}
+
+val t3e : t
+val sp2 : t
+val paragon : t
+val all : t list
+
+val by_name : string -> t option
+
+type activity = {
+  flops : int;
+  l1_accesses : int;
+  l1_misses : int;
+  l2_misses : int;  (** 0 when the machine has no L2 *)
+  comm_ns : float;  (** effective (post-overlap) communication time *)
+}
+
+val time_ns : t -> activity -> float
+(** The execution-time model:
+    [flops·flop_ns + accesses·l1_hit_ns + l1_misses·l1_miss_ns +
+     l2_misses·l2_miss_ns + comm_ns]. *)
+
+val fits : t -> bytes:int -> bool
+(** Does an allocation fit in node memory (Figure 8 experiments)? *)

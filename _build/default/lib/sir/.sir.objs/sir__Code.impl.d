@@ -1,0 +1,1 @@
+lib/sir/code.ml: Array Format Ir List Printf String

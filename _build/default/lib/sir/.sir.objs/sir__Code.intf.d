@@ -1,0 +1,1 @@
+lib/sir/code.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/sir/emit_c.ml: Array Code Float Format Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/sir/emit_c.mli: Code Format

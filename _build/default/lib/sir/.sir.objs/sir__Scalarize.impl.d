@@ -1,0 +1,1 @@
+lib/sir/scalarize.ml: Array Code Core Expr Hashtbl Ir List Nstmt Printf Prog Region Support

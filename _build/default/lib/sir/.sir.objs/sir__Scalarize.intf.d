@@ -1,0 +1,1 @@
+lib/sir/scalarize.mli: Code Core Ir

@@ -1,0 +1,1 @@
+lib/sir/simplify.ml: Array Code Hashtbl Ir List Printf String

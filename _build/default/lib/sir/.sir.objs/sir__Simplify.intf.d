@@ -1,0 +1,1 @@
+lib/sir/simplify.mli: Code

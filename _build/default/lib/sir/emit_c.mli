@@ -1,0 +1,23 @@
+(** Native back end: emit a complete, runnable C translation unit.
+
+    The generated program zero-initializes its arrays, executes the
+    scalarized code, and prints the same 64-bit digest of the live-out
+    set that {!Exec.Interp.checksum} computes — so compiling with a
+    real C compiler and running gives a {e differential test} of the
+    whole pipeline (parser → optimizer → scalarizer → codegen) against
+    the interpreter, down to the last bit.
+
+    Bit-exactness holds because every primitive maps to the operation
+    OCaml itself uses: IEEE doubles throughout, libm for sqrt/sin/...,
+    [hashrand] ported bit-for-bit (splitmix64 over the double's bit
+    pattern), and the digest arithmetic in wrapping [uint64_t].
+
+    Scalars and loop variables are emitted with a [v_] prefix and
+    arrays behind [AT_] accessor macros, so user names can never
+    collide with libc/libm symbols (a config named [gamma], say). *)
+
+val emit : Format.formatter -> Code.program -> unit
+(** Print the full translation unit ([#include]s, array definitions,
+    accessor macros, [hashrand], [main]). *)
+
+val to_string : Code.program -> string

@@ -1,0 +1,54 @@
+(** Scalarization (paper §4.2): array program + fusion plan → scalar IR.
+
+    Each fusible cluster becomes a single loop nest whose structure is
+    the cluster's loop structure vector; loop nests and the statements
+    inside each nest are ordered by topological sorts of the inter- and
+    intra-cluster dependence edges.  Contracted arrays become scalar
+    temporaries (or reduced-rank buffers, for the partial-contraction
+    extension); their allocations disappear from the generated
+    program. *)
+
+type block_plan = {
+  partition : Core.Partition.t;
+  contracted : (string * Core.Contraction.shape) list;
+  absorbed : (int * int) list;
+      (** [(reduce index, cluster representative)] pairs: trailing
+          reductions fused into one of this block's loop nests.  The
+          driver guarantees the soundness conditions: the reduction
+          region equals the cluster's region; the cluster's loop
+          structure is the default row-major one (so accumulation order
+          — and therefore floating-point rounding — is unchanged);
+          every reference the reduction makes to an array written in
+          that cluster uses offset 0; no cluster emitted {e after} the
+          chosen one writes an array the reduction reads; and the
+          target scalar is not read anywhere in the block. *)
+}
+(** The optimizer's decision for one basic block: how statements fuse,
+    which arrays contract, and which trailing reductions are fused into
+    the last nest (reduction fusion is what lets arrays read {e only}
+    by reductions contract — the effect behind EP's every-array
+    elimination in the paper's Figure 7). *)
+
+type plan = block_plan list
+(** One entry per basic block, aligned with [Ir.Prog.blocks]. *)
+
+exception Error of string
+(** Raised on malformed plans (wrong block count, missing loop
+    structure) — these indicate optimizer bugs, not user errors. *)
+
+val trivial_plan : Ir.Prog.t -> plan
+(** No fusion, no contraction: the baseline compilation. *)
+
+val scalarize : Ir.Prog.t -> plan -> Code.program
+(** Generate scalar code.  The result allocates only non-contracted
+    arrays; contracted arrays appear among the program's scalars under
+    their original names. *)
+
+val contracted_of_plan : plan -> (string * Core.Contraction.shape) list
+(** All contraction decisions across blocks (for reporting). *)
+
+val cluster_order : Core.Partition.t -> int list
+(** The order (by representative) in which a partition's clusters are
+    emitted as loop nests: a stable topological sort of the
+    inter-cluster dependence edges.  Exposed for the communication
+    model, which must see the same schedule the generated code has. *)

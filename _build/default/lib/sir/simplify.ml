@@ -1,0 +1,197 @@
+(* Constant folding and per-body common-subexpression elimination. *)
+
+let rec fold_expr (e : Code.expr) : Code.expr =
+  match e with
+  | Code.Const _ | Code.Scalar _ -> e
+  | Code.Load (x, subs) -> Code.Load (x, subs)
+  | Code.Unop (op, a) -> (
+      match fold_expr a with
+      | Code.Const c -> Code.Const (Ir.Expr.apply_unop op c)
+      | a' -> Code.Unop (op, a'))
+  | Code.Binop (op, a, b) -> (
+      match (fold_expr a, fold_expr b) with
+      | Code.Const x, Code.Const y -> Code.Const (Ir.Expr.apply_binop op x y)
+      (* float-exact identities only: x*1 and x/1 are IEEE-identical
+         to x (including signed zeros and NaNs); x+0 is NOT (-0+0=+0) *)
+      | a', Code.Const 1.0 when op = Ir.Expr.Mul || op = Ir.Expr.Div -> a'
+      | Code.Const 1.0, b' when op = Ir.Expr.Mul -> b'
+      | a', b' -> Code.Binop (op, a', b'))
+  | Code.Select (c, a, b) -> (
+      match fold_expr c with
+      | Code.Const v -> if v <> 0.0 then fold_expr a else fold_expr b
+      | c' -> Code.Select (c', fold_expr a, fold_expr b))
+
+(* ------------------------------------------------------------------ *)
+(* CSE with write invalidation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Values are identified by the expression's syntax plus the "epoch"
+   (write counter) of every scalar and array it reads: equal keys imply
+   equal values within one execution of the body. *)
+module Keys = struct
+  type env = {
+    scalar_epoch : (string, int) Hashtbl.t;
+    array_epoch : (string, int) Hashtbl.t;
+  }
+
+  let create () =
+    { scalar_epoch = Hashtbl.create 16; array_epoch = Hashtbl.create 16 }
+
+  let epoch tbl x = try Hashtbl.find tbl x with Not_found -> 0
+  let bump tbl x = Hashtbl.replace tbl x (epoch tbl x + 1)
+
+  let rec key env (e : Code.expr) =
+    match e with
+    | Code.Const f -> Printf.sprintf "#%h" f
+    | Code.Scalar s -> Printf.sprintf "s:%s@%d" s (epoch env.scalar_epoch s)
+    | Code.Load (x, subs) ->
+        Printf.sprintf "l:%s@%d[%s]" x (epoch env.array_epoch x)
+          (String.concat ";"
+             (Array.to_list subs
+             |> List.map (fun (s : Code.subscript) ->
+                    Printf.sprintf "%s+%d" s.Code.base s.Code.off)))
+    | Code.Unop (op, a) ->
+        Printf.sprintf "u:%d(%s)" (Hashtbl.hash op) (key env a)
+    | Code.Binop (op, a, b) ->
+        Printf.sprintf "b:%d(%s,%s)" (Hashtbl.hash op) (key env a)
+          (key env b)
+    | Code.Select (c, a, b) ->
+        Printf.sprintf "?(%s,%s,%s)" (key env c) (key env a) (key env b)
+end
+
+let nontrivial = function
+  | Code.Unop _ | Code.Binop _ | Code.Select _ -> true
+  | Code.Const _ | Code.Scalar _ | Code.Load _ -> false
+
+(* Apply the statement's write effects to the epoch tables.  A loop
+   bumps everything written anywhere inside it: expressions must not
+   stay available across a nest that may overwrite their inputs. *)
+let rec apply_write env (s : Code.stmt) =
+  match s with
+  | Code.Sassign (x, _) -> Keys.bump env.Keys.scalar_epoch x
+  | Code.Store (x, _, _) -> Keys.bump env.Keys.array_epoch x
+  | Code.For { var; body; _ } ->
+      Keys.bump env.Keys.scalar_epoch var;
+      List.iter (apply_write env) body
+
+(* Pass 1 over one straight-line body: count occurrences of every
+   nontrivial subexpression key. *)
+let count_keys stmts =
+  let env = Keys.create () in
+  let counts = Hashtbl.create 64 in
+  let rec walk_expr e =
+    (match e with
+    | Code.Unop (_, a) -> walk_expr a
+    | Code.Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Code.Select (c, a, b) ->
+        walk_expr c;
+        walk_expr a;
+        walk_expr b
+    | _ -> ());
+    if nontrivial e then begin
+      let k = Keys.key env e in
+      Hashtbl.replace counts k
+        (1 + (try Hashtbl.find counts k with Not_found -> 0))
+    end
+  in
+  List.iter
+    (fun s ->
+      (match s with
+      | Code.Sassign (_, e) | Code.Store (_, _, e) -> walk_expr e
+      | Code.For _ -> ());
+      apply_write env s)
+    stmts;
+  counts
+
+let cse_counter = ref 0
+
+(* Pass 2: rewrite, introducing a temporary at the first occurrence of
+   every key that appears at least twice. *)
+let cse_body stmts new_scalars =
+  let counts = count_keys stmts in
+  let env = Keys.create () in
+  let bound = Hashtbl.create 16 in
+  (* bindings to insert before the current statement, reversed *)
+  let pending = ref [] in
+  let rec rewrite e =
+    (* children first so an outer shared tree reuses inner temps *)
+    let k = if nontrivial e then Some (Keys.key env e) else None in
+    match k with
+    | Some key when Hashtbl.mem bound key -> Code.Scalar (Hashtbl.find bound key)
+    | Some key
+      when (try Hashtbl.find counts key with Not_found -> 0) >= 2 ->
+        let e' = rewrite_children e in
+        incr cse_counter;
+        let tmp = Printf.sprintf "__cse%d" !cse_counter in
+        new_scalars := (tmp, 0.0) :: !new_scalars;
+        pending := Code.Sassign (tmp, e') :: !pending;
+        Hashtbl.replace bound key tmp;
+        Code.Scalar tmp
+    | _ -> rewrite_children e
+  and rewrite_children e =
+    match e with
+    | Code.Const _ | Code.Scalar _ | Code.Load _ -> e
+    | Code.Unop (op, a) -> Code.Unop (op, rewrite a)
+    | Code.Binop (op, a, b) -> Code.Binop (op, rewrite a, rewrite b)
+    | Code.Select (c, a, b) -> Code.Select (rewrite c, rewrite a, rewrite b)
+  in
+  List.concat_map
+    (fun s ->
+      let s' =
+        match s with
+        | Code.Sassign (x, e) -> Code.Sassign (x, rewrite e)
+        | Code.Store (x, subs, e) -> Code.Store (x, subs, rewrite e)
+        | Code.For _ -> s
+      in
+      let before = List.rev !pending in
+      pending := [];
+      apply_write env s;
+      (* a write invalidates bindings whose key mentions the target;
+         keys embed epochs, so it suffices to drop bindings eagerly:
+         recompute-key equality can never match a stale epoch.  The
+         [bound] table keys are epoch-qualified, so stale entries are
+         simply never hit again; no explicit invalidation needed. *)
+      before @ [ s' ])
+    stmts
+
+let rec simplify_stmts stmts new_scalars =
+  (* fold constants first, then CSE this straight-line level, then
+     recurse into loops *)
+  let folded =
+    List.map
+      (fun s ->
+        match s with
+        | Code.Sassign (x, e) -> Code.Sassign (x, fold_expr e)
+        | Code.Store (x, subs, e) -> Code.Store (x, subs, fold_expr e)
+        | Code.For f -> Code.For f)
+      stmts
+  in
+  let after_cse = cse_body folded new_scalars in
+  List.map
+    (fun s ->
+      match s with
+      | Code.For { var; lo; hi; step; body } ->
+          Code.For
+            { var; lo; hi; step; body = simplify_stmts body new_scalars }
+      | s -> s)
+    after_cse
+
+let program (p : Code.program) =
+  let new_scalars = ref [] in
+  let body = simplify_stmts p.Code.body new_scalars in
+  { p with Code.body; scalars = p.Code.scalars @ List.rev !new_scalars }
+
+let count_ops p =
+  let rec expr_ops = function
+    | Code.Const _ | Code.Scalar _ | Code.Load _ -> 0
+    | Code.Unop (_, a) -> 1 + expr_ops a
+    | Code.Binop (_, a, b) -> 1 + expr_ops a + expr_ops b
+    | Code.Select (c, a, b) -> 1 + expr_ops c + expr_ops a + expr_ops b
+  in
+  let rec stmt_ops = function
+    | Code.Sassign (_, e) | Code.Store (_, _, e) -> expr_ops e
+    | Code.For { body; _ } -> List.fold_left (fun a s -> a + stmt_ops s) 0 body
+  in
+  List.fold_left (fun a s -> a + stmt_ops s) 0 p.Code.body

@@ -1,0 +1,28 @@
+(** Scalar-level clean-up passes.
+
+    Models the back-end scalar compiler the array compiler hands its
+    output to: constant folding, algebraic identities, and common-
+    subexpression elimination of repeated loads and pure subtrees
+    within each straight-line loop body.  The paper's position is that
+    these passes are {e complementary} to array-level fusion and
+    contraction — they cannot recover a contraction opportunity once
+    statements are scalarized into separate nests — and the ablation
+    bench uses this module to demonstrate it.
+
+    CSE is restricted to a single loop body (our IR has no aliasing and
+    [Hashrand] is pure, so any syntactically equal subexpression is
+    safe to share) and introduces fresh scalars [__cse1], [__cse2], ...
+    Contracted-array scalars, being plain scalars, participate
+    naturally. *)
+
+val fold_expr : Code.expr -> Code.expr
+(** Constant folding + identities ([x*1], [x+0], [x*0] when [x] is a
+    pure non-NaN-producing subtree is {e not} folded — we only fold
+    operations whose operands are all constants, so floating-point
+    semantics are preserved exactly). *)
+
+val program : Code.program -> Code.program
+(** Fold constants everywhere and CSE each innermost loop body. *)
+
+val count_ops : Code.program -> int
+(** Static operation count (for tests and the ablation report). *)

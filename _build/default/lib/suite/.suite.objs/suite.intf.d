@@ -1,0 +1,1 @@
+lib/suite/suite.mli: Fragments Handcoded Ir

@@ -1,0 +1,1 @@
+lib/suite/fragments.ml: Compilers Ir List Printf Zap

@@ -1,0 +1,1 @@
+lib/suite/fragments.mli: Compilers Ir

@@ -1,0 +1,1 @@
+lib/suite/handcoded.ml: Array Float Ir List Printf

@@ -1,0 +1,146 @@
+type criterion =
+  | Fused
+  | Contracted of string list
+
+type t = {
+  id : int;
+  source : string;
+  criterion : criterion;
+  expected : (string * bool) list;
+  note : string;
+}
+
+(* Shared prologue: a 2-D tile with initialized inputs.  The scalar
+   assignment to [s0] separates the initialization block from the probe
+   block, so the probe is always the program's final basic block. *)
+let wrap body exports =
+  Printf.sprintf
+    {|
+program frag;
+config n := 8;
+region R = [1..n, 1..n];
+var A, B, C, D, T1, T2 : [0..n+1, 0..n+1];
+scalar s0;
+export %s;
+begin
+  [R] D := 0.1 * index1 + 0.2 * index2;
+  [R] A := sin(0.3 * index1) + cos(0.2 * index2);
+  s0 := 0.0;
+%s
+end.
+|}
+    exports body
+
+let pgi = "PGI HPF 2.1"
+let ibm = "IBM XLHPF 1.2"
+let apr = "APR XHPF 2.0"
+let cray = "Cray F90 2.0.1.0"
+let zpl = "ZPL 1.13"
+
+let expect ~pgi:p ~ibm:i ~apr:a ~cray:c ~zpl:z =
+  [ (pgi, p); (ibm, i); (apr, a); (cray, c); (zpl, z) ]
+
+let all =
+  [
+    {
+      id = 1;
+      source =
+        wrap {|  [R] B := A + A;
+  [R] C := A * A;|} "B, C";
+      criterion = Fused;
+      expected = expect ~pgi:false ~ibm:false ~apr:true ~cray:true ~zpl:true;
+      note = "fusion for temporal locality, no dependences";
+    };
+    {
+      id = 2;
+      source =
+        wrap {|  [R] B := A@[-1,0] + A@[-1,0];
+  [R] C := A * A;|} "B, C";
+      criterion = Fused;
+      expected = expect ~pgi:false ~ibm:false ~apr:true ~cray:true ~zpl:true;
+      note = "fusion with offset (input-only) references";
+    };
+    {
+      id = 3;
+      source =
+        wrap {|  [R] B := A@[-1,0] + C@[-1,0];
+  [R] C := A * A;|} "B, C";
+      criterion = Fused;
+      expected = expect ~pgi:false ~ibm:false ~apr:false ~cray:false ~zpl:true;
+      note = "fusion must carry an anti dependence (loop reversal)";
+    };
+    {
+      id = 4;
+      source = wrap {|  [R] A := A + A;|} "A";
+      criterion = Contracted [ "__t1" ];
+      expected = expect ~pgi:true ~ibm:true ~apr:true ~cray:true ~zpl:true;
+      note = "compiler temporary, offset-0 self reference";
+    };
+    {
+      id = 5;
+      source = wrap {|  [R] A := A@[-1,0] + A@[-1,0];|} "A";
+      criterion = Contracted [ "__t1" ];
+      expected = expect ~pgi:true ~ibm:true ~apr:true ~cray:true ~zpl:true;
+      note = "compiler temporary requiring loop reversal";
+    };
+    {
+      id = 6;
+      source =
+        wrap {|  [R] B := A + A;
+  [R] C := B;|} "A, C";
+      criterion = Contracted [ "B" ];
+      expected = expect ~pgi:false ~ibm:false ~apr:false ~cray:true ~zpl:true;
+      note = "user temporary";
+    };
+    {
+      id = 7;
+      source =
+        wrap {|  [R] B := A + A + C@[-1,0];
+  [R] C := B;|} "A, C";
+      criterion = Contracted [ "B" ];
+      expected = expect ~pgi:false ~ibm:false ~apr:false ~cray:false ~zpl:true;
+      note = "user temporary behind an anti dependence";
+    };
+    {
+      id = 8;
+      source =
+        wrap
+          {|  [R] T1 := A@[-1,0] + B;
+  [R] T2 := A@[-1,0] * B;
+  [R] A := A@[1,0] + T1 * T1 + T2 * T2;|}
+          "A, B";
+      criterion = Contracted [ "T1"; "T2" ];
+      expected = expect ~pgi:false ~ibm:false ~apr:false ~cray:false ~zpl:true;
+      note =
+        "trade-off: contracting the final statement's compiler \
+         temporary forecloses contracting the two user temporaries \
+         (reconstructed; see EXPERIMENTS.md)";
+    };
+  ]
+
+let block f =
+  let prog = Zap.Elaborate.compile_string f.source in
+  let blocks = Ir.Prog.blocks prog in
+  match List.rev blocks with
+  | probe :: _ -> (prog, probe)
+  | [] -> invalid_arg "Fragments.block: no blocks"
+
+let passes f (r : Compilers.Vendors.result) =
+  match f.criterion with
+  | Fused -> Compilers.Vendors.n_nests r = 1
+  | Contracted xs ->
+      List.for_all (fun x -> Compilers.Vendors.is_contracted r x) xs
+
+let evaluate () =
+  List.map
+    (fun f ->
+      let prog, probe = block f in
+      let rows =
+        List.map
+          (fun caps ->
+            let r = Compilers.Vendors.optimize_block caps prog probe in
+            (caps, passes f r))
+          Compilers.Vendors.all
+      in
+      (f, rows))
+    all

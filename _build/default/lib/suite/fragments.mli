@@ -1,0 +1,43 @@
+(** The Figure 5 probe fragments.
+
+    Eight small programs the paper compiles with five commercial
+    array-language compilers to infer their fusion/contraction
+    capabilities (Figure 6).  Fragments (1)–(3) probe statement fusion
+    under progressively harder dependences; (4)–(5) probe elimination
+    of compiler temporaries; (6)–(7) the same for user temporaries;
+    (8) probes whether compiler and user arrays are weighed together.
+
+    Fragment (8) is reconstructed (the ACM scan garbles it): two user
+    temporaries whose contraction conflicts with contracting the
+    compiler temporary of the final self-referencing statement, so a
+    compiler that considers compiler temporaries separately (Cray)
+    contracts one array where the integrated strategy contracts two.
+    See EXPERIMENTS.md. *)
+
+type criterion =
+  | Fused  (** the block compiles to a single loop nest *)
+  | Contracted of string list
+      (** the named arrays are eliminated ([__t1] = the compiler
+          temporary of the fragment's self-referencing statement) *)
+
+type t = {
+  id : int;
+  source : string;
+  criterion : criterion;
+  expected : (string * bool) list;
+      (** paper's Figure 6 row: vendor name → produced proper code *)
+  note : string;
+}
+
+val all : t list
+
+val block : t -> Ir.Prog.t * Ir.Nstmt.t list
+(** The elaborated program and the basic block the probe examines (its
+    last block; fragments have an initialization block first). *)
+
+val passes : t -> Compilers.Vendors.result -> bool
+(** Does an optimization result satisfy the fragment's criterion? *)
+
+val evaluate : unit -> (t * (Compilers.Vendors.caps * bool) list) list
+(** Run every emulated compiler on every fragment: the data behind the
+    Figure 6 table. *)

@@ -1,0 +1,79 @@
+(* Hand-written scalar versions of EP and Frac.
+
+   Arithmetic follows the zap sources' expression trees exactly
+   (operator for operator, association for association) so that
+   results are bit-identical to the array-language versions. *)
+
+let hr = Ir.Expr.hashrand
+
+(* programs/ep.zap, contracted by hand: no arrays at all. *)
+let ep ~n =
+  let fn = float_of_int n in
+  let cnt = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 in
+  let q = Array.make 9 0.0 in
+  for i = 1 to n do
+    let fi = float_of_int i in
+    let u1 = hr fi in
+    let u2 = hr (fi +. fn) in
+    let v1 = (2.0 *. u1) -. 1.0 in
+    let v2 = (2.0 *. u2) -. 1.0 in
+    let s = (v1 *. v1) +. (v2 *. v2) in
+    let acc = if s < 1.0 && s > 0.0 then 1.0 else 0.0 in
+    let sl = log (Float.max s 1e-30) in
+    let sf = sqrt (-.(2.0) *. sl /. Float.max s 1e-30) in
+    let gx = v1 *. sf *. acc in
+    let gy = v2 *. sf *. acc in
+    let ax = abs_float gx in
+    let ay = abs_float gy in
+    let mx = Float.max ax ay in
+    cnt := !cnt +. acc;
+    sx := !sx +. gx;
+    sy := !sy +. gy;
+    for k = 0 to 8 do
+      let fk = float_of_int k in
+      let b =
+        acc
+        *. (if mx >= fk then 1.0 else 0.0)
+        *. (if mx < fk +. 1.0 then 1.0 else 0.0)
+      in
+      q.(k) <- q.(k) +. b
+    done
+  done;
+  [ ("cnt", !cnt); ("sx", !sx); ("sy", !sy) ]
+  @ List.init 9 (fun k -> (Printf.sprintf "q%d" k, q.(k)))
+
+(* programs/frac.zap with the temporaries contracted by hand: only the
+   iteration state (zr, zi) and the image remain — because every
+   reference in the loop body uses offset 0, per-point evaluation in
+   statement order is exact. *)
+let frac ~n ~iters ~xmin ~ymin ~scale =
+  (* frac's arrays are declared over [1..n,1..n] itself: every
+     reference is offset 0, so no padding exists *)
+  let idx i j = ((i - 1) * n) + (j - 1) in
+  let zr = Array.make (n * n) 0.0 in
+  let zi = Array.make (n * n) 0.0 in
+  let img = Array.make (n * n) 0.0 in
+  let fn = float_of_int n in
+  for _t = 1 to iters do
+    for i = 1 to n do
+      for j = 1 to n do
+        let fi = float_of_int i and fj = float_of_int j in
+        let cr = xmin +. (scale *. fj /. fn) in
+        let ci = ymin +. (scale *. fi /. fn) in
+        let k = idx i j in
+        let zr2 = zr.(k) *. zr.(k) in
+        let zi2 = zi.(k) *. zi.(k) in
+        let mask = if zr2 +. zi2 <= 4.0 then 1.0 else 0.0 in
+        (* the zap source routes ZI and ZR through compiler
+           temporaries; both read the pre-update values *)
+        let zi' =
+          if mask <> 0.0 then (2.0 *. zr.(k) *. zi.(k)) +. ci else zi.(k)
+        in
+        let zr' = if mask <> 0.0 then zr2 -. zi2 +. cr else zr.(k) in
+        zi.(k) <- zi';
+        zr.(k) <- zr';
+        img.(k) <- img.(k) +. mask
+      done
+    done
+  done;
+  img

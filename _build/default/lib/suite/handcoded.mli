@@ -1,0 +1,25 @@
+(** Hand-written scalar implementations (paper §5.2).
+
+    The paper compares its compiler's output against third-party
+    scalar-language versions of the benchmarks; these are our
+    equivalents: direct OCaml implementations written the way a scalar
+    programmer would, with no intermediate arrays beyond the essential
+    state.  Because the zap benchmarks' per-element randomness and
+    arithmetic are pure and deterministic, the hand-coded versions are
+    required (and tested) to produce {e bit-identical} results to the
+    compiled array programs — the strongest form of the paper's
+    "comparable to hand-coded" claim.
+
+    Array counts: EP uses {e no} arrays (all state fits in scalars —
+    exactly what full contraction achieves); Frac uses 3 (the
+    iteration state and the image, matching c2's residue). *)
+
+val ep : n:int -> (string * float) list
+(** The scalar results of the EP benchmark for a tile of [n] pairs, in
+    zap-export order: cnt, sx, sy, q0..q8. *)
+
+val frac :
+  n:int -> iters:int -> xmin:float -> ymin:float -> scale:float ->
+  float array
+(** The Frac image over the allocation bounds [1..n]², row-major —
+    directly comparable to [Exec.Refinterp.get_array _ "IMG"]. *)

@@ -1,0 +1,101 @@
+type bench = {
+  name : string;
+  source : string;
+  tile_config : string;
+  default_tile : int;
+  rank : int;
+  scalar_arrays : int option;
+  description : string;
+}
+
+let all =
+  [
+    {
+      name = "ep";
+      source = Sources.ep;
+      tile_config = "n";
+      default_tile = 4096;
+      rank = 1;
+      scalar_arrays = Some 0;
+      description = "NAS embarrassingly-parallel kernel: Gaussian deviates";
+    };
+    {
+      name = "frac";
+      source = Sources.frac;
+      tile_config = "n";
+      default_tile = 64;
+      rank = 2;
+      scalar_arrays = Some 3;
+      description = "escape-time fractal";
+    };
+    {
+      name = "tomcatv";
+      source = Sources.tomcatv;
+      tile_config = "n";
+      default_tile = 48;
+      rank = 2;
+      scalar_arrays = Some 7;
+      description = "SPEC CFP95 vectorized mesh generation";
+    };
+    {
+      name = "sp";
+      source = Sources.sp;
+      tile_config = "n";
+      default_tile = 40;
+      rank = 2;
+      scalar_arrays = Some 17;
+      description = "NAS scalar-pentadiagonal solver (2-D adaptation)";
+    };
+    {
+      name = "simple";
+      source = Sources.simple;
+      tile_config = "n";
+      default_tile = 40;
+      rank = 2;
+      scalar_arrays = Some 30;
+      description = "LLNL hydrodynamics + heat conduction";
+    };
+    {
+      name = "fibro";
+      source = Sources.fibro;
+      tile_config = "n";
+      default_tile = 40;
+      rank = 2;
+      scalar_arrays = None;
+      description = "fibroblast / extracellular-matrix biology model";
+    };
+  ]
+
+let extras =
+  [
+    {
+      name = "adi3d";
+      source = Sources.adi3d;
+      tile_config = "n";
+      default_tile = 12;
+      rank = 3;
+      scalar_arrays = Some 3;
+      description = "rank-3 ADI sweep (extra: 3-D loop structures and grids)";
+    };
+  ]
+
+let by_name n = List.find_opt (fun b -> b.name = n) (all @ extras)
+
+let program ?tile ?(config = []) b =
+  let config =
+    match tile with
+    | Some t -> (b.tile_config, float_of_int t) :: config
+    | None -> config
+  in
+  Zap.Elaborate.compile_string ~config b.source
+
+let load ?tile ?config name =
+  match by_name name with
+  | Some b -> program ?tile ?config b
+  | None -> invalid_arg ("Suite.load: unknown benchmark " ^ name)
+
+module Fragments = Fragments
+(** Re-exported: the Figure 5 probe fragments. *)
+
+module Handcoded = Handcoded
+(** Re-exported: hand-written scalar versions (paper §5.2). *)

@@ -1,0 +1,47 @@
+(** The benchmark suite of the paper's evaluation (§5).
+
+    Six programs — EP, Frac, Tomcatv, SP, Simple and Fibro — written in
+    the zap array language (sources under [programs/], embedded at
+    build time).  Each benchmark exposes one config constant that sets
+    the per-processor tile edge; the evaluation scales total problem
+    size with the machine (paper §5.4), so per-processor extents are
+    what the harness controls. *)
+
+type bench = {
+  name : string;
+  source : string;  (** zap source text *)
+  tile_config : string;  (** config constant controlling the tile edge *)
+  default_tile : int;
+  rank : int;  (** rank of the distributed arrays *)
+  scalar_arrays : int option;
+      (** static arrays an equivalent hand-written scalar program
+          needs — our analytic estimate standing in for the paper's
+          third-party codes ([None] for Fibro, which was developed in
+          ZPL and has no scalar version; paper Figure 7). *)
+  description : string;
+}
+
+val all : bench list
+(** In the paper's order: EP, Frac, Tomcatv, SP, Simple, Fibro. *)
+
+val extras : bench list
+(** Benchmarks beyond the paper's six (currently the rank-3 ADI
+    sweep); {!by_name}/{!load} resolve these too, but the figure
+    benches iterate {!all} only. *)
+
+val by_name : string -> bench option
+
+val program : ?tile:int -> ?config:(string * float) list -> bench -> Ir.Prog.t
+(** Parse and elaborate the benchmark; [tile] overrides the tile-edge
+    config, [config] overrides anything else. *)
+
+val load : ?tile:int -> ?config:(string * float) list -> string -> Ir.Prog.t
+(** [load name] — {!by_name} + {!program}; raises [Invalid_argument]
+    on an unknown benchmark. *)
+
+module Fragments : module type of Fragments
+(** The Figure 5 probe fragments and their Figure 6 evaluation. *)
+
+module Handcoded : module type of Handcoded
+(** Hand-written scalar versions of EP and Frac (paper §5.2),
+    bit-identical to the compiled array programs. *)

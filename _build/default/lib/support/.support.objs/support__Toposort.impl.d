@@ -1,0 +1,1 @@
+lib/support/toposort.ml: Array List

@@ -1,0 +1,45 @@
+type t = { parent : int array; mutable sets : int }
+
+let create n = { parent = Array.init n (fun i -> i); sets = n }
+
+let rec find_root p i = if p.(i) = i then i else find_root p p.(i)
+
+let find t i =
+  let r = find_root t.parent i in
+  (* path compression *)
+  let rec compress j =
+    if t.parent.(j) <> r then begin
+      let next = t.parent.(j) in
+      t.parent.(j) <- r;
+      compress next
+    end
+  in
+  compress i;
+  r
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    (* Keep the minimum element as representative so that merged
+       fusible clusters take the smallest cluster index. *)
+    let keep = min ra rb and drop = max ra rb in
+    t.parent.(drop) <- keep;
+    t.sets <- t.sets - 1
+  end
+
+let same t a b = find t a = find t b
+
+let groups t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: cur)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let copy t = { parent = Array.copy t.parent; sets = t.sets }
+let n_sets t = t.sets

@@ -1,0 +1,27 @@
+(** Disjoint-set union (union-find) over integers [0 .. n-1].
+
+    Fusion partitions are maintained as a DSU over statement indices:
+    merging fusible clusters is a union, and cluster identity is the
+    minimum statement index of the set (matching the paper's rule that
+    merged clusters are assigned to the [P_k] with smallest [k]). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the discrete partition of [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative: the {e minimum} element of the set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets (no-op when already merged). *)
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** All sets, each sorted ascending, ordered by representative. *)
+
+val copy : t -> t
+(** Independent copy; unions on the copy do not affect the original. *)
+
+val n_sets : t -> int

@@ -1,0 +1,25 @@
+type t = { mutable state : int64 }
+
+(* Constants from Knuth's MMIX LCG; full 64-bit state, top bits used. *)
+let a = 6364136223846793005L
+let c = 1442695040888963407L
+
+let create seed = { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+
+let step t =
+  t.state <- Int64.add (Int64.mul a t.state) c;
+  t.state
+
+let next_float t =
+  let bits = Int64.shift_right_logical (step t) 11 in
+  (* 53 random bits -> (0,1); add half-ulp so we never return 0. *)
+  (Int64.to_float bits +. 0.5) *. (1.0 /. 9007199254740992.0)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
+  let bits = Int64.shift_right_logical (step t) 33 |> Int64.to_int in
+  bits mod bound
+
+let split t =
+  let s = step t in
+  create (Int64.logxor s 0xD1B54A32D192ED03L)

@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers.
+
+    A 64-bit linear-congruential generator in the style of the NAS
+    parallel benchmarks' [randlc] (EP is {e defined} in terms of such a
+    generator).  Used by workload generators and by the EP benchmark's
+    runtime intrinsic so that all experiments are bit-reproducible. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] starts a stream at [seed]. *)
+
+val next_float : t -> float
+(** Uniform deviate in [(0, 1)]. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [[0, bound)]. [bound > 0]. *)
+
+val split : t -> t
+(** An independent stream derived from the current state; advances the
+    parent. *)

@@ -1,0 +1,63 @@
+let adjacency n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Toposort: node out of range";
+      adj.(a) <- b :: adj.(a))
+    edges;
+  adj
+
+(* Kahn's algorithm with a sorted frontier for stability.  The frontier
+   is kept as a sorted list; graphs here are fusible-cluster graphs, so
+   n is small and the O(n^2) worst case is irrelevant. *)
+let sort ~n ~edges =
+  let adj = adjacency n edges in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, b) -> indeg.(b) <- indeg.(b) + 1) edges;
+  let frontier = ref [] in
+  for v = n - 1 downto 0 do
+    if indeg.(v) = 0 then frontier := v :: !frontier
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  let rec insert v = function
+    | [] -> [ v ]
+    | x :: tl when x < v -> x :: insert v tl
+    | rest -> v :: rest
+  in
+  let rec loop () =
+    match !frontier with
+    | [] -> ()
+    | v :: rest ->
+        frontier := rest;
+        order := v :: !order;
+        incr count;
+        List.iter
+          (fun b ->
+            indeg.(b) <- indeg.(b) - 1;
+            if indeg.(b) = 0 then frontier := insert b !frontier)
+          adj.(v);
+        loop ()
+  in
+  loop ();
+  if !count = n then Some (List.rev !order) else None
+
+let sort_exn ~n ~edges =
+  match sort ~n ~edges with
+  | Some o -> o
+  | None -> invalid_arg "Toposort.sort_exn: graph has a cycle"
+
+let reachable ~n ~edges ~from =
+  let adj = adjacency n edges in
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs adj.(v)
+    end
+  in
+  List.iter dfs from;
+  seen
+
+let has_cycle ~n ~edges = sort ~n ~edges = None

@@ -1,0 +1,1 @@
+lib/zap/elaborate.ml: Ast Expr Hashtbl Ir List Nstmt Parser Printf Prog Region Support

@@ -1,0 +1,1 @@
+lib/zap/elaborate.mli: Ast Ir

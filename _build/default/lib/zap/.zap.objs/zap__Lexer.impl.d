@@ -1,0 +1,1 @@
+lib/zap/lexer.ml: List Printf String Token

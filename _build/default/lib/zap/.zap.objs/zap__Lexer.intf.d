@@ -1,0 +1,1 @@
+lib/zap/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/zap/parser.ml: Array Ast Lexer List Printf String Token

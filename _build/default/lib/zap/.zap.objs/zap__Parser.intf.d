@@ -1,0 +1,1 @@
+lib/zap/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/zap/token.ml: Printf

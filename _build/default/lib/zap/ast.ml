@@ -1,0 +1,58 @@
+(* Surface abstract syntax of the zap language.  Bounds and scalar
+   constant expressions are kept symbolic until elaboration, when the
+   config environment is known. *)
+
+type numexpr =
+  | Num of float
+  | NVar of string  (* config name *)
+  | NNeg of numexpr
+  | NBin of char * numexpr * numexpr  (* '+' '-' '*' '/' *)
+
+type range = numexpr * numexpr
+
+type region_ref =
+  | Rname of string
+  | Rinline of range list
+
+type dir_ref =
+  | Dname of string
+  | Dinline of numexpr list
+
+type expr =
+  | Const of float
+  | Var of string  (* array, scalar, config or loop variable *)
+  | At of string * dir_ref  (* A@north / A@[-1,0] *)
+  | Index of int  (* index1, index2, ... *)
+  | Call of string * expr list  (* builtin functions *)
+  | Unary of string * expr  (* "-" "!" *)
+  | Bin of string * expr * expr
+
+type stmt = {
+  line : int;
+  it : stmt_kind;
+}
+
+and stmt_kind =
+  | Assign of region_ref * string * expr  (* [R] A := e *)
+  | Reduce of string * string * region_ref * expr  (* s := +<< [R] e *)
+  | Sassign of string * expr  (* s := e *)
+  | For of string * numexpr * numexpr * stmt list
+
+type decl = {
+  dline : int;
+  dit : decl_kind;
+}
+
+and decl_kind =
+  | Config of string * numexpr
+  | Region of string * range list
+  | Direction of string * numexpr list
+  | VarArrays of string list * region_ref
+  | Scalar of string * numexpr option
+  | Export of string list
+
+type program = {
+  pname : string;
+  decls : decl list;
+  body : stmt list;
+}

@@ -1,0 +1,133 @@
+exception Error of int * string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let out = ref [] in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let cur () = peek 0 in
+  let advance () =
+    (match cur () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let emit t = out := (t, !line) :: !out in
+  let err fmt = Printf.ksprintf (fun s -> raise (Error (!line, s))) fmt in
+  let lex_number () =
+    let start = !pos in
+    while (match cur () with Some c -> is_digit c | None -> false) do
+      advance ()
+    done;
+    (* fractional part: '.' followed by a digit ('..' is a range) *)
+    (match (cur (), peek 1) with
+    | Some '.', Some c when is_digit c ->
+        advance ();
+        while (match cur () with Some c -> is_digit c | None -> false) do
+          advance ()
+        done
+    | _ -> ());
+    (match (cur (), peek 1) with
+    | Some ('e' | 'E'), Some c when is_digit c || c = '+' || c = '-' ->
+        advance ();
+        (match cur () with Some ('+' | '-') -> advance () | _ -> ());
+        while (match cur () with Some c -> is_digit c | None -> false) do
+          advance ()
+        done
+    | _ -> ());
+    let text = String.sub src start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> emit (Token.NUMBER f)
+    | None -> err "malformed number %S" text
+  in
+  let lex_ident () =
+    let start = !pos in
+    while (match cur () with Some c -> is_alnum c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub src start (!pos - start) in
+    (* reduction operators min<< / max<< *)
+    if (text = "min" || text = "max") && peek 0 = Some '<' && peek 1 = Some '<'
+    then begin
+      advance ();
+      advance ();
+      emit (Token.RED (text ^ "<<"))
+    end
+    else if List.mem text Token.keywords then emit (Token.KW text)
+    else begin
+      if String.length text >= 2 && String.sub text 0 2 = "__" then
+        err "identifiers starting with '__' are reserved: %S" text;
+      emit (Token.IDENT text)
+    end
+  in
+  let two a b t =
+    match (cur (), peek 1) with
+    | Some x, Some y when x = a && y = b ->
+        advance ();
+        advance ();
+        emit t;
+        true
+    | _ -> false
+  in
+  while !pos < n do
+    match cur () with
+    | None -> ()
+    | Some c ->
+        if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+        else if c = '-' && peek 1 = Some '-' then
+          (* comment to end of line *)
+          while cur () <> None && cur () <> Some '\n' do
+            advance ()
+          done
+        else if is_digit c then lex_number ()
+        else if is_alpha c then lex_ident ()
+        else if two '+' '<' (Token.RED "+<<") then begin
+          match cur () with
+          | Some '<' -> advance ()
+          | _ -> err "expected '+<<'"
+        end
+        else if two '*' '<' (Token.RED "*<<") then begin
+          match cur () with
+          | Some '<' -> advance ()
+          | _ -> err "expected '*<<'"
+        end
+        else if two ':' '=' Token.ASSIGN then ()
+        else if two '.' '.' Token.DOTDOT then ()
+        else if two '<' '=' Token.LE then ()
+        else if two '>' '=' Token.GE then ()
+        else if two '=' '=' Token.EQ then ()
+        else if two '!' '=' Token.NE then ()
+        else if two '&' '&' Token.ANDAND then ()
+        else if two '|' '|' Token.OROR then ()
+        else begin
+          let simple t =
+            advance ();
+            emit t
+          in
+          match c with
+          | '[' -> simple Token.LBRACKET
+          | ']' -> simple Token.RBRACKET
+          | '(' -> simple Token.LPAREN
+          | ')' -> simple Token.RPAREN
+          | ',' -> simple Token.COMMA
+          | ';' -> simple Token.SEMI
+          | ':' -> simple Token.COLON
+          | '.' -> simple Token.DOT
+          | '@' -> simple Token.AT
+          | '+' -> simple Token.PLUS
+          | '-' -> simple Token.MINUS
+          | '*' -> simple Token.STAR
+          | '/' -> simple Token.SLASH
+          | '^' -> simple Token.CARET
+          | '<' -> simple Token.LT
+          | '>' -> simple Token.GT
+          | '=' -> simple Token.EQ  (* single '=' in region/direction decls *)
+          | '!' -> simple Token.BANG
+          | _ -> err "unexpected character %C" c
+        end
+  done;
+  emit Token.EOF;
+  List.rev !out

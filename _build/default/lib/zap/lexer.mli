@@ -1,0 +1,11 @@
+(** Hand-written lexer for the zap language.
+
+    Produces the token stream with line numbers for error reporting.
+    Comments run from [--] to end of line.  Reduction operators
+    ([+<<], [*<<], [min<<], [max<<]) are single tokens. *)
+
+exception Error of int * string
+(** [(line, message)] *)
+
+val tokenize : string -> (Token.t * int) list
+(** Token with the 1-based line it starts on; ends with [EOF]. *)

@@ -1,0 +1,429 @@
+exception Error of int * string
+
+type state = {
+  toks : (Token.t * int) array;
+  mutable pos : int;
+}
+
+let cur st = fst st.toks.(st.pos)
+let cur_line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let err st fmt =
+  Printf.ksprintf (fun s -> raise (Error (cur_line st, s))) fmt
+
+let expect st t =
+  if cur st = t then advance st
+  else err st "expected %s, found %s" (Token.to_string t) (Token.to_string (cur st))
+
+let ident st =
+  match cur st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> err st "expected an identifier, found %s" (Token.to_string t)
+
+let kw st k = expect st (Token.KW k)
+
+(* ---------------- compile-time numeric expressions ----------------- *)
+
+let rec numexpr st = num_add st
+
+and num_add st =
+  let lhs = ref (num_mul st) in
+  let rec loop () =
+    match cur st with
+    | Token.PLUS ->
+        advance st;
+        lhs := Ast.NBin ('+', !lhs, num_mul st);
+        loop ()
+    | Token.MINUS ->
+        advance st;
+        lhs := Ast.NBin ('-', !lhs, num_mul st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and num_mul st =
+  let lhs = ref (num_atom st) in
+  let rec loop () =
+    match cur st with
+    | Token.STAR ->
+        advance st;
+        lhs := Ast.NBin ('*', !lhs, num_atom st);
+        loop ()
+    | Token.SLASH ->
+        advance st;
+        lhs := Ast.NBin ('/', !lhs, num_atom st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and num_atom st =
+  match cur st with
+  | Token.NUMBER f ->
+      advance st;
+      Ast.Num f
+  | Token.IDENT s ->
+      advance st;
+      Ast.NVar s
+  | Token.MINUS ->
+      advance st;
+      Ast.NNeg (num_atom st)
+  | Token.LPAREN ->
+      advance st;
+      let e = numexpr st in
+      expect st Token.RPAREN;
+      e
+  | t -> err st "expected a numeric expression, found %s" (Token.to_string t)
+
+(* ---------------- regions and directions --------------------------- *)
+
+let range st =
+  let lo = numexpr st in
+  expect st Token.DOTDOT;
+  let hi = numexpr st in
+  (lo, hi)
+
+let bracketed_ranges st =
+  expect st Token.LBRACKET;
+  let rec loop acc =
+    let r = range st in
+    match cur st with
+    | Token.COMMA ->
+        advance st;
+        loop (r :: acc)
+    | _ ->
+        expect st Token.RBRACKET;
+        List.rev (r :: acc)
+  in
+  loop []
+
+let peek st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1)
+  else Token.EOF
+
+(* A bracketed region: either a region name ([R]) or inline bounds
+   ([1..n, 1..m]). *)
+let peek2 st =
+  if st.pos + 2 < Array.length st.toks then fst st.toks.(st.pos + 2)
+  else Token.EOF
+
+let bracketed_region st =
+  match (cur st, peek st, peek2 st) with
+  | Token.LBRACKET, Token.IDENT s, Token.RBRACKET ->
+      advance st;
+      advance st;
+      advance st;
+      Ast.Rname s
+  | _ -> Ast.Rinline (bracketed_ranges st)
+
+let region_ref st =
+  match cur st with
+  | Token.LBRACKET -> bracketed_region st
+  | Token.IDENT s ->
+      advance st;
+      Ast.Rname s
+  | t -> err st "expected a region, found %s" (Token.to_string t)
+
+let bracketed_nums st =
+  expect st Token.LBRACKET;
+  let rec loop acc =
+    let x = numexpr st in
+    match cur st with
+    | Token.COMMA ->
+        advance st;
+        loop (x :: acc)
+    | _ ->
+        expect st Token.RBRACKET;
+        List.rev (x :: acc)
+  in
+  loop []
+
+let dir_ref st =
+  match cur st with
+  | Token.LBRACKET -> Ast.Dinline (bracketed_nums st)
+  | Token.IDENT s ->
+      advance st;
+      Ast.Dname s
+  | t -> err st "expected a direction, found %s" (Token.to_string t)
+
+(* ---------------- expressions -------------------------------------- *)
+
+let index_of_ident s =
+  let n = String.length s in
+  if n > 5 && String.sub s 0 5 = "index" then
+    match int_of_string_opt (String.sub s 5 (n - 5)) with
+    | Some d when d >= 1 -> Some d
+    | _ -> None
+  else None
+
+let rec expr st = expr_or st
+
+and expr_or st =
+  let lhs = ref (expr_and st) in
+  while cur st = Token.OROR do
+    advance st;
+    lhs := Ast.Bin ("||", !lhs, expr_and st)
+  done;
+  !lhs
+
+and expr_and st =
+  let lhs = ref (expr_cmp st) in
+  while cur st = Token.ANDAND do
+    advance st;
+    lhs := Ast.Bin ("&&", !lhs, expr_cmp st)
+  done;
+  !lhs
+
+and expr_cmp st =
+  let lhs = expr_sum st in
+  let op =
+    match cur st with
+    | Token.LT -> Some "<"
+    | Token.LE -> Some "<="
+    | Token.GT -> Some ">"
+    | Token.GE -> Some ">="
+    | Token.EQ -> Some "=="
+    | Token.NE -> Some "!="
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Bin (op, lhs, expr_sum st)
+
+and expr_sum st =
+  let lhs = ref (expr_prod st) in
+  let rec loop () =
+    match cur st with
+    | Token.PLUS ->
+        advance st;
+        lhs := Ast.Bin ("+", !lhs, expr_prod st);
+        loop ()
+    | Token.MINUS ->
+        advance st;
+        lhs := Ast.Bin ("-", !lhs, expr_prod st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and expr_prod st =
+  let lhs = ref (expr_unary st) in
+  let rec loop () =
+    match cur st with
+    | Token.STAR ->
+        advance st;
+        lhs := Ast.Bin ("*", !lhs, expr_unary st);
+        loop ()
+    | Token.SLASH ->
+        advance st;
+        lhs := Ast.Bin ("/", !lhs, expr_unary st);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and expr_unary st =
+  match cur st with
+  | Token.MINUS ->
+      advance st;
+      Ast.Unary ("-", expr_unary st)
+  | Token.BANG ->
+      advance st;
+      Ast.Unary ("!", expr_unary st)
+  | _ -> expr_pow st
+
+and expr_pow st =
+  let base = expr_atom st in
+  match cur st with
+  | Token.CARET ->
+      advance st;
+      Ast.Bin ("^", base, expr_unary st)
+  | _ -> base
+
+and expr_atom st =
+  match cur st with
+  | Token.NUMBER f ->
+      advance st;
+      Ast.Const f
+  | Token.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT name -> (
+      advance st;
+      match cur st with
+      | Token.LPAREN ->
+          advance st;
+          let rec args acc =
+            let a = expr st in
+            match cur st with
+            | Token.COMMA ->
+                advance st;
+                args (a :: acc)
+            | _ ->
+                expect st Token.RPAREN;
+                List.rev (a :: acc)
+          in
+          let args = if cur st = Token.RPAREN then (advance st; []) else args [] in
+          Ast.Call (name, args)
+      | Token.AT ->
+          advance st;
+          Ast.At (name, dir_ref st)
+      | _ -> (
+          match index_of_ident name with
+          | Some d -> Ast.Index d
+          | None -> Ast.Var name))
+  | t -> err st "expected an expression, found %s" (Token.to_string t)
+
+(* ---------------- statements --------------------------------------- *)
+
+let rec stmt st : Ast.stmt =
+  let line = cur_line st in
+  match cur st with
+  | Token.LBRACKET ->
+      let r = region_ref st in
+      let lhs = ident st in
+      expect st Token.ASSIGN;
+      let e = expr st in
+      expect st Token.SEMI;
+      { Ast.line; it = Ast.Assign (r, lhs, e) }
+  | Token.KW "for" ->
+      advance st;
+      let v = ident st in
+      expect st Token.ASSIGN;
+      let lo = numexpr st in
+      kw st "to";
+      let hi = numexpr st in
+      kw st "do";
+      let body = stmts_until st [ "end" ] in
+      kw st "end";
+      expect st Token.SEMI;
+      { Ast.line; it = Ast.For (v, lo, hi, body) }
+  | Token.IDENT _ -> (
+      let target = ident st in
+      expect st Token.ASSIGN;
+      match cur st with
+      | Token.RED op ->
+          advance st;
+          let r = region_ref st in
+          let e = expr st in
+          expect st Token.SEMI;
+          { Ast.line; it = Ast.Reduce (target, op, r, e) }
+      | _ ->
+          let e = expr st in
+          expect st Token.SEMI;
+          { Ast.line; it = Ast.Sassign (target, e) })
+  | t -> err st "expected a statement, found %s" (Token.to_string t)
+
+and stmts_until st enders =
+  let rec loop acc =
+    match cur st with
+    | Token.KW k when List.mem k enders -> List.rev acc
+    | Token.EOF -> List.rev acc
+    | _ -> loop (stmt st :: acc)
+  in
+  loop []
+
+(* ---------------- declarations ------------------------------------- *)
+
+let decl st : Ast.decl =
+  let dline = cur_line st in
+  match cur st with
+  | Token.KW "config" ->
+      advance st;
+      let name = ident st in
+      expect st Token.ASSIGN;
+      let v = numexpr st in
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.Config (name, v) }
+  | Token.KW "region" ->
+      advance st;
+      let name = ident st in
+      (match cur st with
+      | Token.ASSIGN -> advance st
+      | _ -> expect st Token.EQ);
+      let rs = bracketed_ranges st in
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.Region (name, rs) }
+  | Token.KW "direction" ->
+      advance st;
+      let name = ident st in
+      (match cur st with
+      | Token.ASSIGN -> advance st
+      | _ -> expect st Token.EQ);
+      let ds = bracketed_nums st in
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.Direction (name, ds) }
+  | Token.KW "var" ->
+      advance st;
+      let rec names acc =
+        let n = ident st in
+        match cur st with
+        | Token.COMMA ->
+            advance st;
+            names (n :: acc)
+        | _ -> List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st Token.COLON;
+      let r = region_ref st in
+      (match cur st with Token.KW "double" -> advance st | _ -> ());
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.VarArrays (ns, r) }
+  | Token.KW "scalar" ->
+      advance st;
+      let name = ident st in
+      let init =
+        match cur st with
+        | Token.ASSIGN ->
+            advance st;
+            Some (numexpr st)
+        | _ -> None
+      in
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.Scalar (name, init) }
+  | Token.KW "export" ->
+      advance st;
+      let rec names acc =
+        let n = ident st in
+        match cur st with
+        | Token.COMMA ->
+            advance st;
+            names (n :: acc)
+        | _ -> List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st Token.SEMI;
+      { Ast.dline; dit = Ast.Export ns }
+  | t -> err st "expected a declaration, found %s" (Token.to_string t)
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  kw st "program";
+  let pname = ident st in
+  expect st Token.SEMI;
+  let rec decls acc =
+    match cur st with
+    | Token.KW "begin" -> List.rev acc
+    | _ -> decls (decl st :: acc)
+  in
+  let decls = decls [] in
+  kw st "begin";
+  let body = stmts_until st [ "end" ] in
+  kw st "end";
+  (match cur st with Token.DOT -> advance st | _ -> ());
+  (match cur st with
+  | Token.EOF -> ()
+  | t -> err st "trailing input: %s" (Token.to_string t));
+  { Ast.pname; decls; body }

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the zap language.
+
+    Grammar (see docs/zap.md for the full reference):
+    {v
+    program  ::= "program" ident ";" decl* "begin" stmt* "end" "."?
+    decl     ::= "config" ident ":=" numexpr ";"
+               | "region" ident "=" "[" range ("," range)* "]" ";"
+               | "direction" ident "=" "[" num ("," num)* "]" ";"
+               | "var" ident ("," ident)* ":" regionref ("double")? ";"
+               | "scalar" ident (":=" numexpr)? ";"
+               | "export" ident ("," ident)* ";"
+    stmt     ::= "[" regionref "]" ident ":=" expr ";"
+               | ident ":=" redop regionref expr ";"
+               | ident ":=" expr ";"
+               | "for" ident ":=" numexpr "to" numexpr "do" stmt* "end" ";"
+    v} *)
+
+exception Error of int * string
+
+val parse : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} with a line number on bad
+    input. *)

@@ -1,0 +1,53 @@
+(* Lexical tokens of the zap language. *)
+
+type t =
+  | IDENT of string
+  | NUMBER of float
+  | KW of string  (* program config region direction var scalar export
+                     begin end for to do double *)
+  | LBRACKET | RBRACKET | LPAREN | RPAREN
+  | COMMA | SEMI | COLON | DOT
+  | ASSIGN  (* := *)
+  | DOTDOT  (* .. *)
+  | AT  (* @ *)
+  | PLUS | MINUS | STAR | SLASH | CARET
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | RED of string  (* "+<<", "*<<", "min<<", "max<<" *)
+  | EOF
+
+let keywords =
+  [ "program"; "config"; "region"; "direction"; "var"; "scalar"; "export";
+    "begin"; "end"; "for"; "to"; "do"; "double" ]
+
+let to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOT -> "'.'"
+  | ASSIGN -> "':='"
+  | DOTDOT -> "'..'"
+  | AT -> "'@'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | CARET -> "'^'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | RED op -> Printf.sprintf "reduction %S" op
+  | EOF -> "end of input"

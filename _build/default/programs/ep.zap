@@ -1,0 +1,77 @@
+-- EP: the NAS "embarrassingly parallel" kernel.
+--
+-- Generates pairs of uniform deviates, transforms the accepted pairs
+-- into Gaussian deviates (Box-Muller), and tallies them into annuli
+-- by maximum coordinate.  Every array is dead once the reductions have
+-- been taken, so array-level fusion + contraction + reduction fusion
+-- eliminate ALL 22 arrays (paper Figure 7: EP 22 -> 0).
+--
+-- Per-element randomness is the pure function hashrand(.), so results
+-- are independent of iteration order and bit-reproducible.
+
+program ep;
+
+config n := 4096;        -- pairs per processor
+
+region R = [1..n];
+
+var U1, U2          : R;   -- uniform deviates
+var V1, V2          : R;   -- scaled to (-1, 1)
+var S               : R;   -- radius^2
+var ACC             : R;   -- acceptance mask
+var SL, SF          : R;   -- Box-Muller factors
+var GX, GY          : R;   -- Gaussian deviates
+var AX, AY, MX      : R;   -- magnitudes
+var B0, B1, B2, B3, B4, B5, B6, B7, B8 : R;   -- annulus masks
+
+scalar cnt := 0.0;       -- accepted pairs
+scalar sx := 0.0;        -- sum of X deviates
+scalar sy := 0.0;        -- sum of Y deviates
+scalar q0 := 0.0;
+scalar q1 := 0.0;
+scalar q2 := 0.0;
+scalar q3 := 0.0;
+scalar q4 := 0.0;
+scalar q5 := 0.0;
+scalar q6 := 0.0;
+scalar q7 := 0.0;
+scalar q8 := 0.0;
+
+export cnt, sx, sy, q0, q1, q2, q3, q4, q5, q6, q7, q8;
+
+begin
+  [R] U1 := hashrand(index1);
+  [R] U2 := hashrand(index1 + n);
+  [R] V1 := 2.0 * U1 - 1.0;
+  [R] V2 := 2.0 * U2 - 1.0;
+  [R] S  := V1 * V1 + V2 * V2;
+  [R] ACC := (S < 1.0) && (S > 0.0);
+  [R] SL := log(max(S, 1e-30));
+  [R] SF := sqrt(-2.0 * SL / max(S, 1e-30));
+  [R] GX := V1 * SF * ACC;
+  [R] GY := V2 * SF * ACC;
+  [R] AX := abs(GX);
+  [R] AY := abs(GY);
+  [R] MX := max(AX, AY);
+  [R] B0 := ACC * (MX >= 0.0) * (MX < 1.0);
+  [R] B1 := ACC * (MX >= 1.0) * (MX < 2.0);
+  [R] B2 := ACC * (MX >= 2.0) * (MX < 3.0);
+  [R] B3 := ACC * (MX >= 3.0) * (MX < 4.0);
+  [R] B4 := ACC * (MX >= 4.0) * (MX < 5.0);
+  [R] B5 := ACC * (MX >= 5.0) * (MX < 6.0);
+  [R] B6 := ACC * (MX >= 6.0) * (MX < 7.0);
+  [R] B7 := ACC * (MX >= 7.0) * (MX < 8.0);
+  [R] B8 := ACC * (MX >= 8.0) * (MX < 9.0);
+  cnt := +<< R ACC;
+  sx  := +<< R GX;
+  sy  := +<< R GY;
+  q0  := +<< R B0;
+  q1  := +<< R B1;
+  q2  := +<< R B2;
+  q3  := +<< R B3;
+  q4  := +<< R B4;
+  q5  := +<< R B5;
+  q6  := +<< R B6;
+  q7  := +<< R B7;
+  q8  := +<< R B8;
+end.

@@ -1,0 +1,148 @@
+-- Fibro: fibroblast / extracellular-matrix mechanics (after Dikaiakos,
+-- Lin, Manoussaki & Woodward's ZPL biology codes).
+--
+-- Fibroblasts diffuse and migrate chemotactically through a collagen
+-- matrix, remodel it (production, degradation, realignment), and
+-- deform it mechanically (traction -> stress -> displacement).  The
+-- code is written in the double-buffered style of the original ZPL
+-- application: no statement reads the array it writes, so no compiler
+-- temporaries are inserted (paper Figure 7: Fibro 49 arrays, 0
+-- compiler / 49 user).  The contraction harvest is the large layer of
+-- offset-0 coefficient and gradient fields between the state arrays.
+
+program fibro;
+
+config n := 40;          -- tissue tile edge (per processor)
+config steps := 3;
+config dt := 0.05;
+config dN := 0.30;       -- fibroblast diffusivity
+config chi := 0.25;      -- chemotaxis coefficient
+config kpc := 0.06;      -- collagen production
+config kdc := 0.03;      -- collagen degradation
+config kpf := 0.05;      -- fibronectin production
+config drag := 2.0;      -- matrix drag
+
+region R = [1..n, 1..n];
+region All = [0..n+1, 0..n+1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+
+-- state fields (live across steps)
+var N, C, F, TH, U, V          : All;
+-- double buffers for the state updates
+var NN, CN, FN, THN, UN, VN    : All;
+-- transport fluxes (read at offsets by the divergence statements)
+var FLX, FLY, QX, QY, HX, HY   : All;
+-- matrix stress tensor (read at offsets by the force statements)
+var SXX, SYY, SXY              : All;
+-- rotation/torque and displacement gradients (offset-read)
+var ROT, GU, GV                : All;
+-- environment (set up once, read every step)
+var BMASK, XI, PHI             : All;
+-- offset-0 coefficient and gradient layer (contracts under c2)
+var CH, SAT, MIT, DEG, PRODC, PRODF, SPD : All;
+var GNX, GNY, GCX, GCY, GFX, GFY         : All;
+var EPSXX, EPSYY, EPSXY                  : All;
+var TRC, STF, FU, FV, ALN, ANG           : All;
+
+scalar ncells := 0.0;
+scalar cmass := 0.0;
+scalar umax := 0.0;
+
+export N, C, F, ncells, cmass, umax;
+
+begin
+  -- a wound at the center of the tile: few cells, damaged matrix
+  [All] N := 0.2 + 0.8 / (1.0 + 0.01 * (index1 - n / 2) * (index1 - n / 2)
+                               + 0.01 * (index2 - n / 2) * (index2 - n / 2));
+  [All] C := 0.8 - 0.5 * (index1 > n / 4) * (index1 < 3 * n / 4)
+                       * (index2 > n / 4) * (index2 < 3 * n / 4);
+  [All] F := 0.3 + 0.1 * sin(0.2 * index1) * sin(0.2 * index2);
+  [All] TH := 0.3 * sin(0.1 * index1 + 0.2 * index2);
+  [All] U := 0.0;
+  [All] V := 0.0;
+  [All] BMASK := (index1 > 1) * (index1 < n) * (index2 > 1) * (index2 < n);
+  [All] XI := 0.5 + 0.5 * hashrand(index1 * 1000.0 + index2);
+  [All] PHI := 0.6 + 0.2 * cos(0.15 * index1) * cos(0.15 * index2);
+
+  for t := 1 to steps do
+    -- coefficient layer: everything here is consumed at offset 0 and
+    -- contracts once fused with its consumers
+    [R] SAT := 1.0 - N / 2.0;
+    [R] MIT := 0.04 * N * SAT * F;
+    [R] CH := chi / ((1.0 + 2.0 * F) * (1.0 + 2.0 * F));
+    [R] SPD := dN * XI / (0.2 + 0.8 * C);
+    [R] DEG := kdc * N * C;
+    [R] PRODC := kpc * N * (1.0 - C);
+    [R] PRODF := kpf * N * (1.0 - F);
+
+    -- gradients of the state fields
+    [R] GNX := 0.5 * (N@east - N@west);
+    [R] GNY := 0.5 * (N@south - N@north);
+    [R] GCX := 0.5 * (C@east - C@west);
+    [R] GCY := 0.5 * (C@south - C@north);
+    [R] GFX := 0.5 * (F@east - F@west);
+    [R] GFY := 0.5 * (F@south - F@north);
+
+    -- cell flux: diffusion down own gradient, chemotaxis up the
+    -- fibronectin gradient, haptotaxis along collagen
+    [R] FLX := SPD * GNX - CH * N * GFX - 0.1 * N * GCX;
+    [R] FLY := SPD * GNY - CH * N * GFY - 0.1 * N * GCY;
+
+    -- collagen and fibronectin advect with the matrix
+    [R] QX := C * 0.5 * (UN@east - UN@west) / dt;
+    [R] QY := C * 0.5 * (VN@south - VN@north) / dt;
+    [R] HX := F * 0.5 * (UN@east - UN@west) / dt;
+    [R] HY := F * 0.5 * (VN@south - VN@north) / dt;
+
+    -- matrix mechanics: strain, stiffness, traction, stress
+    [R] EPSXX := 0.5 * (U@east - U@west);
+    [R] EPSYY := 0.5 * (V@south - V@north);
+    [R] EPSXY := 0.25 * (U@south - U@north + V@east - V@west);
+    [R] STF := (0.5 + C) * PHI;
+    [R] TRC := 0.4 * N * C / (1.0 + 0.3 * N * N);
+    [R] SXX := STF * (EPSXX + 0.3 * EPSYY) + TRC;
+    [R] SYY := STF * (EPSYY + 0.3 * EPSXX) + TRC;
+    [R] SXY := STF * EPSXY;
+
+    -- force balance and displacement update (drag-dominated)
+    [R] FU := 0.5 * (SXX@east - SXX@west) + 0.5 * (SXY@south - SXY@north);
+    [R] FV := 0.5 * (SYY@south - SYY@north) + 0.5 * (SXY@east - SXY@west);
+    [R] UN := BMASK * (U + dt * FU / drag);
+    [R] VN := BMASK * (V + dt * FV / drag);
+
+    -- fiber realignment toward the local strain axis
+    [R] GU := 0.5 * (U@east - U@west);
+    [R] GV := 0.5 * (V@south - V@north);
+    [R] ROT := 0.5 * (GU@south - GV@east);
+    [R] ANG := TH - 0.5 * (ROT@east + ROT@west);
+    [R] ALN := 0.1 * N * (1.0 - C) * XI;
+    [R] THN := TH - dt * (ANG * ALN);
+
+    -- state updates from flux divergences and kinetics
+    [R] NN := BMASK * (N + dt * (0.5 * (FLX@east - FLX@west)
+                               + 0.5 * (FLY@south - FLY@north)
+                               + MIT - 0.01 * N));
+    [R] CN := C + dt * (PRODC - DEG - 0.5 * (QX@east - QX@west)
+                                    - 0.5 * (QY@south - QY@north));
+    [R] FN := F + dt * (PRODF - 0.02 * F - 0.5 * (HX@east - HX@west)
+                                         - 0.5 * (HY@south - HY@north));
+
+    -- commit the double buffers, with a touch of diffusive smoothing
+    -- for numerical stability (which also keeps the buffers live at
+    -- stencil offsets, as in the original double-buffered code)
+    [R] N := 0.96 * NN + 0.01 * (NN@north + NN@south + NN@east + NN@west);
+    [R] C := 0.96 * CN + 0.01 * (CN@north + CN@south + CN@east + CN@west);
+    [R] F := 0.96 * FN + 0.01 * (FN@north + FN@south + FN@east + FN@west);
+    [R] TH := 0.96 * THN + 0.01 * (THN@north + THN@south + THN@east + THN@west);
+    [R] U := UN;
+    [R] V := VN;
+  end;
+
+  ncells := +<< R N;
+  cmass := +<< R C;
+  umax := max<< R abs(U) + abs(V);
+end.

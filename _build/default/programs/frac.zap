@@ -1,0 +1,40 @@
+-- Frac: escape-time fractal (Mandelbrot iteration).
+--
+-- Stands in for the paper's Frac benchmark: a small, regular,
+-- communication-free 2-D kernel dominated by elementwise temporaries.
+-- The coordinate fields and the per-step temporaries all contract;
+-- only the iteration state (ZR, ZI) and the output image survive.
+
+program frac;
+
+config n := 64;          -- image tile edge (per processor)
+config iters := 12;      -- escape iterations
+config xmin := -2.0;
+config ymin := -1.5;
+config scale := 3.0;
+
+region R = [1..n, 1..n];
+
+var IMG        : R;      -- escape counts (the output)
+var ZR, ZI     : R;      -- iteration state
+var CR, CI     : R;      -- pixel coordinates
+var ZR2, ZI2   : R;      -- squared terms
+var MASK       : R;      -- still-bounded mask
+
+export IMG;
+
+begin
+  [R] ZR := 0.0;
+  [R] ZI := 0.0;
+  [R] IMG := 0.0;
+  for t := 1 to iters do
+    [R] CR := xmin + scale * index2 / n;
+    [R] CI := ymin + scale * index1 / n;
+    [R] ZR2 := ZR * ZR;
+    [R] ZI2 := ZI * ZI;
+    [R] MASK := (ZR2 + ZI2) <= 4.0;
+    [R] ZI := select(MASK, 2.0 * ZR * ZI + CI, ZI);
+    [R] ZR := select(MASK, ZR2 - ZI2 + CR, ZR);
+    [R] IMG := IMG + MASK;
+  end;
+end.

@@ -1,0 +1,121 @@
+-- Simple: Lagrangian hydrodynamics with heat conduction
+-- (Crowley, Hendrickson & Luby, LLNL UCID-17715), the classic
+-- array-language benchmark.
+--
+-- One time step = velocity/position update, geometry (areas, volumes,
+-- density), artificial viscosity, equation of state, energy update,
+-- and an explicit heat-conduction sweep.  State fields are read at
+-- stencil offsets by the following phase, so they stay allocated;
+-- the contraction harvest is the offset-0 work fields (divergence,
+-- kinetic energy) and the compiler temporaries of the self-updates.
+
+program simple;
+
+config n := 40;          -- mesh tile edge (per processor)
+config steps := 3;
+config dt := 0.002;
+config gamma := 1.4;
+config qcoef := 1.2;     -- artificial viscosity coefficient
+config kcond := 0.08;    -- heat conduction coefficient
+
+region R = [1..n, 1..n];
+region All = [0..n+1, 0..n+1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+
+-- node-centered kinematics (live)
+var X, Y, U, V        : All;
+-- zone-centered state (live)
+var RHO, P, Q, E, TEMP : All;
+-- geometry
+var AJ, VOL, AREA, SM  : All;
+-- velocity gradients (read at offsets by the viscosity phase)
+var DUX, DUY, DVX, DVY : All;
+-- sound speed, conductivity
+var CS, TK             : All;
+-- directional heat fluxes (read at offsets by the energy update)
+var HK1, HK2, HK3, HK4 : All;
+-- face-centered forces and work fields (read at offsets)
+var F1, F2, W1, W2     : All;
+-- boundary damping mask and solver coefficients
+var BND, ZA, ZB        : All;
+-- offset-0 work fields (contract)
+var DIV, EK            : All;
+
+scalar etot := 0.0;
+scalar qmax := 0.0;
+
+export X, Y, RHO, E, TEMP, etot, qmax;
+
+begin
+  -- initial mesh, state and mask
+  [All] X := index2 + 0.02 * sin(0.3 * index1);
+  [All] Y := index1 + 0.02 * sin(0.3 * index2);
+  [All] U := 0.05 * sin(0.11 * index1);
+  [All] V := 0.05 * cos(0.13 * index2);
+  [All] RHO := 1.0 + 0.1 * cos(0.09 * index1) * cos(0.09 * index2);
+  [All] E := 2.0;
+  [All] TEMP := 1.0 + 0.2 * sin(0.05 * index1 * index2);
+  [All] P := 0.4 * RHO@[0,0] * E@[0,0];
+  [All] Q := 0.0;
+  [All] SM := 1.0;
+  [All] BND := (index1 > 1) * (index1 < n) * (index2 > 1) * (index2 < n);
+  [All] ZA := 0.5;
+  [All] ZB := 0.5;
+
+  for t := 1 to steps do
+    -- forces from pressure + viscosity gradients
+    [R] F1 := -(P@east + Q@east - P@west - Q@west) * 0.5 * ZA;
+    [R] F2 := -(P@south + Q@south - P@north - Q@north) * 0.5 * ZB;
+
+    -- kinematic update (compiler temporaries contract)
+    [R] U := BND * (U + dt * 0.5 * (F1 + F1@west) / max(SM, 0.1));
+    [R] V := BND * (V + dt * 0.5 * (F2 + F2@north) / max(SM, 0.1));
+    [R] X := X + dt * U;
+    [R] Y := Y + dt * V;
+
+    -- geometry of the moved mesh
+    [R] AJ := (X@east - X@west) * (Y@south - Y@north)
+            - (X@south - X@north) * (Y@east - Y@west);
+    [R] AREA := 0.25 * abs(AJ) + 0.01;
+    [R] VOL := AREA * 1.0;
+    [R] RHO := SM / max(VOL, 0.01);
+
+    -- velocity gradients and divergence
+    [R] DUX := 0.5 * (U@east - U@west);
+    [R] DUY := 0.5 * (U@south - U@north);
+    [R] DVX := 0.5 * (V@east - V@west);
+    [R] DVY := 0.5 * (V@south - V@north);
+    [R] DIV := DUX + DVY;
+    [R] CS := sqrt(gamma * max(P, 0.01) / max(RHO, 0.01));
+
+    -- artificial viscosity (quadratic in compression)
+    [R] Q := select(DIV < 0.0,
+                    qcoef * RHO * (DIV * DIV * AREA + 0.1 * CS@east * abs(DUX@east - DUX@west)
+                                   + 0.05 * abs(DUY@south - DVX@north)),
+                    0.0);
+
+    -- energy and equation of state
+    [R] EK := 0.5 * (U * U + V * V);
+    [R] W1 := P * DIV + Q * min(DIV, 0.0);
+    [R] E := E - dt * (W1 + 0.02 * (W1@east - W1@west)) / max(SM, 0.1) + 0.001 * EK;
+    [R] P := (gamma - 1.0) * RHO * E;
+
+    -- heat conduction: conductivity, directional fluxes, update
+    [R] TK := kcond * (1.0 + 0.5 * TEMP);
+    [R] HK1 := 0.5 * (TK + TK@east) * (TEMP@east - TEMP);
+    [R] HK2 := 0.5 * (TK + TK@west) * (TEMP@west - TEMP);
+    [R] HK3 := 0.5 * (TK + TK@south) * (TEMP@south - TEMP);
+    [R] HK4 := 0.5 * (TK + TK@north) * (TEMP@north - TEMP);
+    [R] TEMP := TEMP + dt * (HK1@west + HK2@east + HK3@north + HK4@south
+                             + HK1 + HK2 + HK3 + HK4) * 0.5
+              + 0.01 * W2;
+    [R] W2 := 0.2 * (TEMP@east + TEMP@west) - 0.4 * TEMP;
+  end;
+
+  etot := +<< R (E + 0.5 * (U * U + V * V));
+  qmax := max<< R Q;
+end.

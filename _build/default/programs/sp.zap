@@ -1,0 +1,101 @@
+-- SP: scalar pentadiagonal solver (NAS parallel benchmarks), adapted
+-- to two dimensions.
+--
+-- Five coupled fields are advanced by an ADI-style scheme: an
+-- auxiliary-variable phase (inverse density, velocities, source
+-- terms), a right-hand-side phase (second-difference stencils), and a
+-- line-relaxation update phase with pentadiagonal coefficients.  The
+-- full NPB SP declares 181 static arrays across dozens of routines;
+-- this kernel models the paper's *dynamic* working set (Figure 8:
+-- 23 live arrays before contraction, 17 after).  The contraction
+-- opportunities are the offset-0 source term SQ and the five
+-- compiler temporaries of the field updates; everything else is kept
+-- live by genuinely loop-carried stencil reads — which is exactly the
+-- paper's point about SP wanting contraction to *lower-dimensional*
+-- arrays (§5.2), reproduced by the c2+p extension bench.
+
+program sp;
+
+config n := 40;          -- tile edge (per processor)
+config steps := 3;
+config tau := 0.015;
+config dx := 0.20;
+config dy := 0.20;
+
+region R = [1..n, 1..n];
+region All = [0..n+1, 0..n+1];
+
+direction north = [-1, 0];
+direction south = [1, 0];
+direction east  = [0, 1];
+direction west  = [0, -1];
+
+var U1, U2, U3, U4, U5      : All;   -- density, momenta, scalar, energy
+var RHS1, RHS2, RHS3, RHS4, RHS5 : All;
+var RHOI, WS, QS            : All;   -- auxiliary fields
+var LA, LB, LC              : All;   -- pentadiagonal coefficients
+var SQ                      : All;   -- kinetic source (contracts)
+var DTV                     : All;   -- local time-step field
+
+scalar rnorm := 0.0;
+
+export U1, U2, U3, U4, U5, rnorm;
+
+begin
+  -- initial state: smooth transonic-ish profile
+  [All] U1 := 1.0 + 0.02 * sin(0.13 * index1) * cos(0.11 * index2);
+  [All] U2 := 0.40 * U1@[0,0] + 0.01 * sin(0.07 * index2);
+  [All] U3 := 0.30 * U1@[0,0] - 0.01 * cos(0.05 * index1);
+  [All] U4 := 0.10;
+  [All] U5 := 2.5 + 0.25 * (U2@[0,0] * U2@[0,0] + U3@[0,0] * U3@[0,0]);
+  [All] DTV := tau * (1.0 + 0.1 * sin(0.21 * index1 + 0.17 * index2));
+
+  for t := 1 to steps do
+    -- auxiliary variables
+    [R] RHOI := 1.0 / max(U1, 0.05);
+    [R] WS := U2 * RHOI;
+    [R] QS := U3 * RHOI;
+    [R] SQ := 0.5 * (U2 * U2 + U3 * U3) * RHOI;
+
+    -- right-hand sides: central second differences plus advective
+    -- terms; RHOI is read at an offset by the viscous correction, so
+    -- it stays allocated
+    [R] RHS1 := dx * (U1@east - 2.0 * U1 + U1@west)
+              + dy * (U1@north - 2.0 * U1 + U1@south)
+              - 0.5 * (WS@east - WS@west) - 0.5 * (QS@north - QS@south);
+    [R] RHS2 := dx * (U2@east - 2.0 * U2 + U2@west)
+              + dy * (U2@north - 2.0 * U2 + U2@south)
+              - WS * 0.5 * (WS@east - WS@west) + 0.1 * (RHOI@east - RHOI@west)
+              - 0.05 * SQ;
+    [R] RHS3 := dx * (U3@east - 2.0 * U3 + U3@west)
+              + dy * (U3@north - 2.0 * U3 + U3@south)
+              - QS * 0.5 * (QS@north - QS@south) + 0.1 * (RHOI@north - RHOI@south)
+              - 0.05 * SQ;
+    [R] RHS4 := dx * (U4@east - 2.0 * U4 + U4@west)
+              + dy * (U4@north - 2.0 * U4 + U4@south)
+              - 0.5 * (WS * (U4@east - U4@west) + QS * (U4@north - U4@south));
+    [R] RHS5 := dx * (U5@east - 2.0 * U5 + U5@west)
+              + dy * (U5@north - 2.0 * U5 + U5@south)
+              - 0.5 * (WS@east * U5@east - WS@west * U5@west)
+              - 0.5 * (QS@north * U5@north - QS@south * U5@south)
+              + 0.1 * SQ;
+
+    -- pentadiagonal line coefficients; LA and LC are read at offsets
+    -- by the relaxation, LB at an offset by the energy update
+    [R] LA := -0.5 * (WS@north + 0.05);
+    [R] LB := 1.0 + 0.5 * abs(WS) + 0.5 * abs(QS);
+    [R] LC := -0.5 * (WS@south + 0.05);
+
+    -- relaxed forward-sweep update of each field: the self reference
+    -- is one-sided (@north only), so the inserted compiler temporary
+    -- fuses with its copy-back under a reversed row loop and
+    -- contracts — five temporaries eliminated
+    [R] U1 := U1 + DTV * (RHS1 - 0.1 * (LA@north * U1@north + LC@south * RHS1@south)) / LB;
+    [R] U2 := U2 + DTV * (RHS2 - 0.1 * (LA@north * U2@north + LC@south * RHS2@south)) / LB;
+    [R] U3 := U3 + DTV * (RHS3 - 0.1 * (LA@north * U3@north + LC@south * RHS3@south)) / LB;
+    [R] U4 := U4 + DTV * (RHS4 - 0.1 * (LA@north * U4@north + LC@south * RHS4@south)) / LB;
+    [R] U5 := U5 + DTV * (RHS5 - 0.1 * (LA@north * U5@north + LC@south * RHS5@south)) / LB@north;
+  end;
+
+  rnorm := +<< R (abs(RHS1) + abs(RHS2) + abs(RHS3) + abs(RHS4) + abs(RHS5));
+end.

@@ -1,0 +1,1 @@
+test/test_comm_model.ml: Alcotest Array Cachesim Comm Compilers Core Expr Gen Ir List Machine Nstmt Prog QCheck QCheck_alcotest Region Sir Support

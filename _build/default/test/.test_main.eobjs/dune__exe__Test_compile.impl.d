@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Compilers Exec Expr Ir List Nstmt Printf Prog QCheck QCheck_alcotest Region Sir Support

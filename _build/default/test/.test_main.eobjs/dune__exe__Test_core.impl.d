@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Expr Fmt Ir List Nstmt QCheck QCheck_alcotest Region String Support

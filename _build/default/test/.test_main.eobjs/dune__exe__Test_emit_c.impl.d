@@ -1,0 +1,1 @@
+test/test_emit_c.ml: Alcotest Array Compilers Exec Expr Filename Ir List Nstmt Printf Prog QCheck Random Region Sir String Suite Support Sys Unix Zap

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Exec Expr Ir List Nstmt Prog Region Sir Support

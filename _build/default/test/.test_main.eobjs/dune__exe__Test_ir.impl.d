@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Exec Expr Gen Ir List Nstmt Prog QCheck QCheck_alcotest Region Support

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cli Test_comm_model Test_compile Test_core Test_emit_c Test_exec Test_ir Test_merge Test_perf Test_simplify Test_sir Test_suite Test_support Test_vendors Test_zap

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Core Exec Expr Ir List Nstmt Prog QCheck QCheck_alcotest Region Support

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Array Cache Cachesim Comm Compilers Expr Gen Ir List Machine Nstmt Option Prog QCheck QCheck_alcotest Region Support

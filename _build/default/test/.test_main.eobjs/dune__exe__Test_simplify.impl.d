@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Compilers Exec Expr Ir List Printf Sir Suite Support

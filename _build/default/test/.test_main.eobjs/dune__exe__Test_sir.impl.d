@@ -1,0 +1,1 @@
+test/test_sir.ml: Alcotest Array Astring Compilers Exec Expr Format Ir List Nstmt Prog Region Sir Support

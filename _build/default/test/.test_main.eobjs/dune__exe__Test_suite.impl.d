@@ -1,0 +1,1 @@
+test/test_suite.ml: Alcotest Array Comm Compilers Core Exec Ir List Machine Printf Sir String Suite Support Zap

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Dsu Fmt Gen List Prng QCheck QCheck_alcotest Support Toposort Vec

@@ -1,0 +1,1 @@
+test/test_vendors.ml: Alcotest Compilers Expr Ir List Nstmt Prog Region Support

@@ -1,0 +1,1 @@
+test/test_zap.ml: Alcotest Array Astring Compilers Exec Float Ir List Nstmt Printf Prog Region Sir Zap

@@ -1,0 +1,88 @@
+(* Smoke tests for the zapc command-line driver (built binary). *)
+
+let zapc = "../bin/zapc.exe"
+
+let available = Sys.file_exists zapc
+
+let run args =
+  let out = Filename.temp_file "zapc" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote zapc) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains text sub = Astring.String.is_infix ~affix:sub text
+
+let test_bench_compile () =
+  if available then begin
+    let code, out = run "--bench tomcatv -O c2 --tile 12" in
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check bool) "reports contraction" true
+      (contains out "allocations remain")
+  end
+
+let test_dump_plan () =
+  if available then begin
+    let code, out = run "--bench ep --tile 64 -O c2 --dump-plan" in
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check bool) "shows fused reductions" true
+      (contains out "reduction");
+    Alcotest.(check bool) "shows contraction" true (contains out "contract")
+  end
+
+let test_run_flag () =
+  if available then begin
+    let code, out = run "--bench frac --tile 16 -O c2+f3 --run -m paragon -p 4" in
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check bool) "reports time" true (contains out "Intel Paragon");
+    Alcotest.(check bool) "reports checksum" true (contains out "checksum")
+  end
+
+let test_file_input () =
+  if available then begin
+    let src = Filename.temp_file "prog" ".zap" in
+    let oc = open_out src in
+    output_string oc
+      {|program tiny;
+config n := 8;
+region R = [1..n];
+var A, B : [0..n+1];
+export B;
+begin
+  [R] A := index1 * 2.0;
+  [R] B := A + A@[-1];
+end.
+|};
+    close_out oc;
+    let code, out = run (Filename.quote src ^ " -O c2 --dump-c") in
+    Sys.remove src;
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check bool) "emits C" true (contains out "#include <math.h>")
+  end
+
+let test_bad_input_fails () =
+  if available then begin
+    let code, _ = run "--bench nosuch" in
+    Alcotest.(check bool) "nonzero exit" true (code <> 0);
+    let code, _ = run "--bench ep -O warp9" in
+    Alcotest.(check bool) "bad level rejected" true (code <> 0)
+  end
+
+let suites =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "compile benchmark" `Quick test_bench_compile;
+        Alcotest.test_case "dump plan" `Quick test_dump_plan;
+        Alcotest.test_case "run with machine model" `Quick test_run_flag;
+        Alcotest.test_case "file input + dump-c" `Quick test_file_input;
+        Alcotest.test_case "bad input" `Quick test_bad_input_fails;
+      ] );
+  ]

@@ -1,0 +1,371 @@
+(* End-to-end semantic preservation: every optimization level must be
+   observationally equivalent to the array-level reference semantics. *)
+
+open Ir
+module Vec = Support.Vec
+
+let v = Vec.of_list
+let interior = Region.of_bounds [ (1, 4); (1, 4) ]
+let padded = Region.of_bounds [ (0, 5); (0, 5) ]
+
+let user name = { Prog.name; bounds = padded; kind = Prog.User }
+let temp name = { Prog.name; bounds = padded; kind = Prog.Compiler }
+
+let levels = Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ]
+
+(* Compare a compiled configuration against the reference interpreter:
+   identical checksums and bitwise-identical live-out arrays. *)
+let assert_equivalent ?(ctx = "") prog =
+  (match Prog.validate prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid program: %s" ctx e);
+  let reference = Exec.Refinterp.run prog in
+  let ref_sum = Exec.Refinterp.checksum reference in
+  List.iter
+    (fun level ->
+      let c = Compilers.Driver.compile ~level prog in
+      let r = Exec.Interp.run c.Compilers.Driver.code in
+      let name = Compilers.Driver.level_name level in
+      Alcotest.(check string)
+        (Printf.sprintf "%s checksum @ %s" ctx name)
+        ref_sum (Exec.Interp.checksum r);
+      List.iter
+        (fun out ->
+          match Prog.find_array prog out with
+          | None -> ()
+          | Some _ ->
+              let want = Exec.Refinterp.get_array reference out in
+              let got = Exec.Interp.get_array r out in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s array %s @ %s" ctx out name)
+                true
+                (want = got))
+        prog.Prog.live_out)
+    levels
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written end-to-end program: loop, reduction, temporaries       *)
+(* ------------------------------------------------------------------ *)
+
+let stencil_prog () =
+  {
+    Prog.name = "stencil";
+    arrays = [ user "A"; user "B"; temp "T1"; user "W" ];
+    scalars = [ ("s", 0.0); ("w", 0.25) ];
+    body =
+      [
+        Prog.Astmt
+          (Nstmt.make ~region:interior ~lhs:"B"
+             Expr.(Binop (Add, Idx 1, Binop (Mul, Idx 2, Const 0.5))));
+        Prog.Sloop
+          {
+            var = "t";
+            lo = 1;
+            hi = 3;
+            body =
+              [
+                Prog.Astmt
+                  (Nstmt.make ~region:interior ~lhs:"T1"
+                     Expr.(
+                       Binop
+                         ( Mul,
+                           Svar "w",
+                           Binop
+                             ( Add,
+                               Binop
+                                 ( Add,
+                                   Ref ("A", v [ -1; 0 ]),
+                                   Ref ("A", v [ 1; 0 ]) ),
+                               Binop
+                                 ( Add,
+                                   Ref ("A", v [ 0; -1 ]),
+                                   Ref ("A", v [ 0; 1 ]) ) ) )));
+                Prog.Astmt
+                  (Nstmt.make ~region:interior ~lhs:"W"
+                     Expr.(
+                       Binop
+                         (Add, Ref ("T1", v [ 0; 0 ]), Ref ("B", v [ 0; 0 ]))));
+                Prog.Astmt
+                  (Nstmt.make ~region:interior ~lhs:"A"
+                     Expr.(Ref ("W", v [ 0; 0 ])));
+              ];
+          };
+        Prog.Reduce
+          {
+            target = "s";
+            op = Prog.Rsum;
+            region = interior;
+            arg = Expr.(Ref ("A", v [ 0; 0 ]));
+          };
+      ];
+    live_out = [ "A"; "s" ];
+  }
+
+let test_stencil_equivalence () = assert_equivalent ~ctx:"stencil" (stencil_prog ())
+
+let test_stencil_contraction () =
+  (* Both T1 (compiler) and W (user) are confined to the loop-body
+     block, but they compete: contracting T1 first merges {T1-def,
+     W-def}, and the resulting cluster cannot absorb the A-update — the
+     four-point stencil reads of A induce anti dependences of mixed
+     sign against the A write, so FIND-LOOP-STRUCTURE has no solution.
+     The greedy weight order therefore contracts exactly one of the
+     two (T1, the first considered). *)
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 (stencil_prog ()) in
+  Alcotest.(check (pair int int))
+    "contracted compiler/user" (1, 0)
+    (Compilers.Driver.contracted_counts c);
+  Alcotest.(check int) "arrays left" 3 (Compilers.Driver.remaining_arrays c);
+  let cb = Compilers.Driver.compile ~level:Compilers.Driver.Baseline (stencil_prog ()) in
+  Alcotest.(check int) "baseline arrays" 4 (Compilers.Driver.remaining_arrays cb)
+
+let test_contraction_reduces_footprint () =
+  let prog = stencil_prog () in
+  let bytes level =
+    Exec.Interp.footprint_bytes
+      (Compilers.Driver.compile ~level prog).Compilers.Driver.code
+  in
+  Alcotest.(check bool)
+    "c2 footprint < baseline" true
+    (bytes Compilers.Driver.C2 < bytes Compilers.Driver.Baseline)
+
+let test_contraction_reduces_traffic () =
+  let prog = stencil_prog () in
+  let traffic level =
+    let c = Compilers.Driver.compile ~level prog in
+    let r = Exec.Interp.run c.Compilers.Driver.code in
+    let cnt = Exec.Interp.counters r in
+    cnt.Exec.Interp.loads + cnt.Exec.Interp.stores
+  in
+  Alcotest.(check bool)
+    "c2 memory traffic < baseline" true
+    (traffic Compilers.Driver.C2 < traffic Compilers.Driver.Baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Reduction fusion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let reduction_prog () =
+  (* G is read only by the trailing reduction; with reduction fusion it
+     contracts (the EP effect).  H feeds a reduction whose region
+     differs: its reduction cannot be absorbed, so H must stay. *)
+  {
+    Prog.name = "redfuse";
+    arrays = [ user "A"; user "G"; user "H" ];
+    scalars = [ ("s", 0.0); ("u", 0.0) ];
+    body =
+      [
+        Prog.Astmt
+          (Nstmt.make ~region:interior ~lhs:"G"
+             Expr.(Binop (Mul, Ref ("A", v [ 0; 0 ]), Ref ("A", v [ 0; 0 ]))));
+        Prog.Astmt
+          (Nstmt.make ~region:interior ~lhs:"H"
+             Expr.(Binop (Add, Ref ("A", v [ 0; 0 ]), Const 1.0)));
+        Prog.Reduce
+          { target = "s"; op = Prog.Rsum; region = interior;
+            arg = Expr.(Ref ("G", v [ 0; 0 ])) };
+        Prog.Reduce
+          { target = "u"; op = Prog.Rmax;
+            region = Region.of_bounds [ (1, 2); (1, 2) ];
+            arg = Expr.(Ref ("H", v [ 0; 0 ])) };
+      ];
+    live_out = [ "s"; "u" ];
+  }
+
+let test_reduction_fusion () =
+  let prog = reduction_prog () in
+  assert_equivalent ~ctx:"redfuse" prog;
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  let names =
+    List.map (fun (a : Sir.Code.alloc) -> a.Sir.Code.name)
+      c.Compilers.Driver.code.Sir.Code.allocs
+  in
+  Alcotest.(check bool) "G contracted" false (List.mem "G" names);
+  Alcotest.(check bool) "H kept (region mismatch)" true (List.mem "H" names);
+  (* exactly one absorbed reduction in the single block *)
+  match c.Compilers.Driver.plan with
+  | [ bp ] ->
+      Alcotest.(check (list int))
+        "absorbed reduce 0" [ 0 ]
+        (List.map fst bp.Sir.Scalarize.absorbed)
+  | _ -> Alcotest.fail "expected one block"
+
+let test_reduction_fusion_blocked_by_target_read () =
+  (* the reduction target is read inside the block: absorption would
+     change which value the block sees, so it must be rejected *)
+  let prog =
+    {
+      Prog.name = "redread";
+      arrays = [ user "A"; user "G" ];
+      scalars = [ ("s", 2.5) ];
+      body =
+        [
+          Prog.Astmt
+            (Nstmt.make ~region:interior ~lhs:"G"
+               Expr.(Binop (Mul, Ref ("A", v [ 0; 0 ]), Svar "s")));
+          Prog.Reduce
+            { target = "s"; op = Prog.Rsum; region = interior;
+              arg = Expr.(Ref ("G", v [ 0; 0 ])) };
+        ];
+      live_out = [ "s" ];
+    }
+  in
+  assert_equivalent ~ctx:"redread" prog;
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  match c.Compilers.Driver.plan with
+  | [ bp ] ->
+      Alcotest.(check (list int))
+        "not absorbed" []
+        (List.map fst bp.Sir.Scalarize.absorbed)
+  | _ -> Alcotest.fail "expected one block"
+
+(* ------------------------------------------------------------------ *)
+(* Random program property                                             *)
+(* ------------------------------------------------------------------ *)
+
+let arr_names = [| "A"; "B"; "C"; "D"; "T1"; "T2" |]
+
+let prog_gen =
+  let open QCheck.Gen in
+  let off = int_range (-1) 1 in
+  let ref_gen =
+    map2 (fun n (a, b) -> Expr.Ref (arr_names.(n), v [ a; b ]))
+      (int_range 0 5) (pair off off)
+  in
+  let leaf =
+    frequency
+      [
+        (6, ref_gen);
+        (1, return (Expr.Svar "k"));
+        (1, map (fun f -> Expr.Const f) (float_bound_inclusive 4.0));
+        (1, return (Expr.Idx 1));
+      ]
+  in
+  let expr_gen =
+    frequency
+      [
+        (4, map2 (fun a b -> Expr.Binop (Expr.Add, a, b)) leaf leaf);
+        (2, map2 (fun a b -> Expr.Binop (Expr.Mul, a, b)) leaf leaf);
+        (1, map2 (fun a b -> Expr.Binop (Expr.Max, a, b)) leaf leaf);
+        ( 1,
+          map3 (fun c a b -> Expr.Select (Expr.Binop (Expr.Lt, c, Expr.Const 2.0), a, b))
+            leaf leaf leaf );
+      ]
+  in
+  let stmt_gen = map2 (fun n rhs -> (arr_names.(n), rhs)) (int_range 0 5) expr_gen in
+  triple
+    (list_size (int_range 1 6) stmt_gen)  (* pre-loop block *)
+    (list_size (int_range 0 5) stmt_gen)  (* loop-body block *)
+    (int_range 1 3)                       (* loop trip count *)
+
+let build_prog (pre, body, trips) =
+  let mk specs =
+    List.filter_map
+      (fun (lhs, rhs) ->
+        if List.mem lhs (Expr.ref_names rhs) then None
+        else Some (Prog.Astmt (Nstmt.make ~region:interior ~lhs rhs)))
+      specs
+  in
+  let pre = mk pre and body = mk body in
+  let prog_body =
+    pre
+    @ (if body = [] then []
+       else [ Prog.Sloop { var = "t"; lo = 1; hi = trips; body } ])
+    @ [
+        Prog.Reduce
+          {
+            target = "s";
+            op = Prog.Rsum;
+            region = interior;
+            arg = Expr.(Ref ("A", v [ 0; 0 ]));
+          };
+      ]
+  in
+  {
+    Prog.name = "random";
+    arrays =
+      [ user "A"; user "B"; user "C"; user "D"; temp "T1"; temp "T2" ];
+    scalars = [ ("k", 3.0); ("s", 0.0) ];
+    body = prog_body;
+    live_out = [ "A"; "B"; "s" ];
+  }
+
+let prop_all_levels_equivalent =
+  QCheck.Test.make ~name:"all optimization levels preserve semantics"
+    ~count:400
+    (QCheck.make prog_gen)
+    (fun spec ->
+      let prog = build_prog spec in
+      match Prog.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let reference = Exec.Refinterp.run prog in
+          let ref_sum = Exec.Refinterp.checksum reference in
+          List.for_all
+            (fun level ->
+              let c = Compilers.Driver.compile ~level prog in
+              let r = Exec.Interp.run c.Compilers.Driver.code in
+              Exec.Interp.checksum r = ref_sum)
+            levels)
+
+let prop_contracted_never_allocated =
+  QCheck.Test.make ~name:"contracted arrays are not allocated" ~count:150
+    (QCheck.make prog_gen)
+    (fun spec ->
+      let prog = build_prog spec in
+      match Prog.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+          let allocated =
+            List.map
+              (fun (a : Sir.Code.alloc) -> a.Sir.Code.name)
+              c.Compilers.Driver.code.Sir.Code.allocs
+          in
+          List.for_all
+            (fun (x, _) -> not (List.mem x allocated))
+            c.Compilers.Driver.contracted)
+
+let prop_levels_monotone_footprint =
+  QCheck.Test.make ~name:"footprint: c2 <= c1 <= baseline" ~count:150
+    (QCheck.make prog_gen)
+    (fun spec ->
+      let prog = build_prog spec in
+      match Prog.validate prog with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let bytes level =
+            Exec.Interp.footprint_bytes
+              (Compilers.Driver.compile ~level prog).Compilers.Driver.code
+          in
+          let b = bytes Compilers.Driver.Baseline in
+          let c1 = bytes Compilers.Driver.C1 in
+          let c2 = bytes Compilers.Driver.C2 in
+          c2 <= c1 && c1 <= b)
+
+let suites =
+  [
+    ( "compile.stencil",
+      [
+        Alcotest.test_case "equivalence at all levels" `Quick
+          test_stencil_equivalence;
+        Alcotest.test_case "contraction decisions" `Quick
+          test_stencil_contraction;
+        Alcotest.test_case "memory footprint" `Quick
+          test_contraction_reduces_footprint;
+        Alcotest.test_case "memory traffic" `Quick
+          test_contraction_reduces_traffic;
+      ] );
+    ( "compile.reduction-fusion",
+      [
+        Alcotest.test_case "absorb + contract" `Quick test_reduction_fusion;
+        Alcotest.test_case "target read blocks" `Quick
+          test_reduction_fusion_blocked_by_target_read;
+      ] );
+    ( "compile.random",
+      [
+        QCheck_alcotest.to_alcotest prop_all_levels_equivalent;
+        QCheck_alcotest.to_alcotest prop_contracted_never_allocated;
+        QCheck_alcotest.to_alcotest prop_levels_monotone_footprint;
+      ] );
+  ]

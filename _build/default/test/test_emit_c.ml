@@ -1,0 +1,167 @@
+(* Differential testing against a real C compiler: the emitted C
+   program must print exactly the interpreter's checksum. *)
+
+let cc_available =
+  Sys.command "cc --version > /dev/null 2>&1" = 0
+
+let run_c code =
+  let dir = Filename.temp_file "fuzion" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let c_path = Filename.concat dir "prog.c" in
+  let exe_path = Filename.concat dir "prog" in
+  let out_path = Filename.concat dir "out" in
+  let oc = open_out c_path in
+  output_string oc (Sir.Emit_c.to_string code);
+  close_out oc;
+  let compile_cmd =
+    Printf.sprintf "cc -O2 -o %s %s -lm 2> %s.cerr"
+      (Filename.quote exe_path) (Filename.quote c_path)
+      (Filename.quote out_path)
+  in
+  if Sys.command compile_cmd <> 0 then begin
+    let ic = open_in (out_path ^ ".cerr") in
+    let err = really_input_string ic (min 2000 (in_channel_length ic)) in
+    close_in ic;
+    Alcotest.failf "cc failed:\n%s" err
+  end;
+  if
+    Sys.command
+      (Printf.sprintf "%s > %s" (Filename.quote exe_path)
+         (Filename.quote out_path))
+    <> 0
+  then Alcotest.fail "compiled program crashed";
+  let ic = open_in out_path in
+  let line = input_line ic in
+  close_in ic;
+  String.trim line
+
+let check_program name prog =
+  if cc_available then
+    List.iter
+      (fun level ->
+        let c = Compilers.Driver.compile ~level prog in
+        let interp = Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code) in
+        let native = run_c c.Compilers.Driver.code in
+        Alcotest.(check string)
+          (Printf.sprintf "%s @ %s: native == interpreter" name
+             (Compilers.Driver.level_name level))
+          interp native)
+      Compilers.Driver.[ Baseline; C2F3 ]
+
+let test_heat () =
+  let src =
+    {|
+program cheat;
+config n := 12;
+region R = [1..n, 1..n];
+var A, B, F : [0..n+1, 0..n+1];
+scalar total := 0.0;
+export A, total;
+begin
+  [0..n+1, 0..n+1] A := sin(0.3 * index1) * cos(0.2 * index2);
+  for t := 1 to 3 do
+    [R] B := 0.25 * (A@[-1,0] + A@[1,0] + A@[0,-1] + A@[0,1]);
+    [R] F := B * B;
+    [R] A := B - 0.1 * F + hashrand(index1 * 100.0 + index2) * 1e-6;
+  end;
+  total := +<< R A;
+end.
+|}
+  in
+  check_program "heat" (Zap.Elaborate.compile_string src)
+
+let test_benchmarks_native () =
+  (* the interesting benchmarks, small tiles: EP exercises hashrand and
+     reduction fusion, tomcatv exercises reversal, adi3d rank 3 *)
+  List.iter
+    (fun (name, tile) ->
+      check_program name (Suite.load ~tile name))
+    [ ("ep", 64); ("tomcatv", 8); ("adi3d", 5); ("frac", 8) ]
+
+let test_simplified_native () =
+  if cc_available then begin
+    let prog = Suite.load ~tile:8 "simple" in
+    let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+    let code = Sir.Simplify.program c.Compilers.Driver.code in
+    let interp = Exec.Interp.checksum (Exec.Interp.run code) in
+    Alcotest.(check string) "simplified code survives cc" interp (run_c code)
+  end
+
+(* Random-program differential fuzzing against cc: a small fixed
+   number of cases (each costs a compiler invocation). *)
+let test_random_differential () =
+  if cc_available then begin
+    let open Ir in
+    let module Vec = Support.Vec in
+    let v = Vec.of_list in
+    let interior = Region.of_bounds [ (1, 4); (1, 4) ] in
+    let padded = Region.of_bounds [ (0, 5); (0, 5) ] in
+    let arr_names = [| "A"; "B"; "C"; "T1" |] in
+    let gen =
+      let open QCheck.Gen in
+      let off = int_range (-1) 1 in
+      let ref_gen =
+        map2 (fun n (a, b) -> Expr.Ref (arr_names.(n), v [ a; b ]))
+          (int_range 0 3) (pair off off)
+      in
+      let leaf =
+        frequency
+          [
+            (5, ref_gen);
+            (1, return (Expr.Idx 2));
+            (1, map (fun f -> Expr.Const f) (float_bound_inclusive 3.0));
+          ]
+      in
+      let expr =
+        frequency
+          [
+            (3, map2 (fun a b -> Expr.Binop (Expr.Add, a, b)) leaf leaf);
+            (2, map2 (fun a b -> Expr.Binop (Expr.Mul, a, b)) leaf leaf);
+            (1, map (fun a -> Expr.Unop (Expr.Hashrand, a)) leaf);
+            (1, map2 (fun a b -> Expr.Binop (Expr.Max, a, b)) leaf leaf);
+          ]
+      in
+      list_size (int_range 1 5)
+        (map2 (fun n rhs -> (arr_names.(n), rhs)) (int_range 0 3) expr)
+    in
+    let rand = Random.State.make [| 20260705 |] in
+    for _case = 1 to 12 do
+      let specs = QCheck.Gen.generate1 ~rand gen in
+      let stmts =
+        List.filter_map
+          (fun (lhs, rhs) ->
+            if List.mem lhs (Expr.ref_names rhs) then None
+            else Some (Prog.Astmt (Nstmt.make ~region:interior ~lhs rhs)))
+          specs
+      in
+      if stmts <> [] then begin
+        let prog =
+          {
+            Prog.name = "rand";
+            arrays =
+              Array.to_list arr_names
+              |> List.map (fun name ->
+                     { Prog.name; bounds = padded; kind = Prog.User });
+            scalars = [];
+            body = stmts;
+            live_out = [ "A"; "B" ];
+          }
+        in
+        match Prog.validate prog with
+        | Error _ -> ()
+        | Ok () -> check_program "random" prog
+      end
+    done
+  end
+
+let suites =
+  [
+    ( "emit_c",
+      [
+        Alcotest.test_case "heat differential" `Quick test_heat;
+        Alcotest.test_case "benchmarks differential" `Quick test_benchmarks_native;
+        Alcotest.test_case "simplified differential" `Quick test_simplified_native;
+        Alcotest.test_case "random differential" `Quick test_random_differential;
+      ] );
+  ]

@@ -1,0 +1,177 @@
+(* Scalar-level optimizer: constant folding + CSE. *)
+
+open Ir
+module Vec = Support.Vec
+module Code = Sir.Code
+
+let v = Vec.of_list
+
+let test_fold_constants () =
+  let e =
+    Code.Binop
+      (Expr.Add, Code.Const 2.0, Code.Binop (Expr.Mul, Code.Const 3.0, Code.Const 4.0))
+  in
+  Alcotest.(check bool) "folded" true (Sir.Simplify.fold_expr e = Code.Const 14.0)
+
+let test_fold_identities () =
+  let x = Code.Load ("A", [| { Code.base = "__i1"; off = 0 } |]) in
+  Alcotest.(check bool) "x*1" true
+    (Sir.Simplify.fold_expr (Code.Binop (Expr.Mul, x, Code.Const 1.0)) = x);
+  Alcotest.(check bool) "1*x" true
+    (Sir.Simplify.fold_expr (Code.Binop (Expr.Mul, Code.Const 1.0, x)) = x);
+  Alcotest.(check bool) "x/1" true
+    (Sir.Simplify.fold_expr (Code.Binop (Expr.Div, x, Code.Const 1.0)) = x);
+  (* x+0 must NOT fold: (-0) + 0 = +0 *)
+  Alcotest.(check bool) "x+0 kept" true
+    (Sir.Simplify.fold_expr (Code.Binop (Expr.Add, x, Code.Const 0.0)) <> x)
+
+let test_fold_select () =
+  let a = Code.Scalar "a" and b = Code.Scalar "b" in
+  Alcotest.(check bool) "true branch" true
+    (Sir.Simplify.fold_expr (Code.Select (Code.Const 1.0, a, b)) = a);
+  Alcotest.(check bool) "false branch" true
+    (Sir.Simplify.fold_expr (Code.Select (Code.Const 0.0, a, b)) = b)
+
+(* a loop body with a repeated subexpression *)
+let shared_body_program () =
+  let sub i off : Code.subscript array = [| { Code.base = i; off } |] in
+  let load x = Code.Load (x, sub "__i1" 0) in
+  let shared = Code.Binop (Expr.Mul, load "A", load "A") in
+  {
+    Code.name = "cse";
+    allocs =
+      [
+        { Code.name = "A"; dims = [| (0, 9) |] };
+        { Code.name = "B"; dims = [| (0, 9) |] };
+        { Code.name = "C"; dims = [| (0, 9) |] };
+      ];
+    scalars = [];
+    body =
+      [
+        Code.For
+          {
+            var = "__i1";
+            lo = 0;
+            hi = 9;
+            step = 1;
+            body =
+              [
+                Code.Store ("A", sub "__i1" 0, Code.Scalar "__i1");
+                Code.Store
+                  ("B", sub "__i1" 0, Code.Binop (Expr.Add, shared, Code.Const 1.0));
+                Code.Store
+                  ("C", sub "__i1" 0, Code.Binop (Expr.Sub, shared, Code.Const 1.0));
+              ];
+          };
+      ];
+    live_out = [ "B"; "C" ];
+  }
+
+let test_cse_shares () =
+  let p = shared_body_program () in
+  let q = Sir.Simplify.program p in
+  Alcotest.(check bool)
+    "fewer static ops" true
+    (Sir.Simplify.count_ops q < Sir.Simplify.count_ops p);
+  (* and the shared value is computed once per iteration: loads drop *)
+  let loads prog =
+    (Exec.Interp.counters (Exec.Interp.run prog)).Exec.Interp.loads
+  in
+  Alcotest.(check int) "4 loads before (2 per use)" 40 (loads p);
+  Alcotest.(check int) "2 loads after" 20 (loads q);
+  Alcotest.(check string) "same results"
+    (Exec.Interp.checksum (Exec.Interp.run p))
+    (Exec.Interp.checksum (Exec.Interp.run q))
+
+let test_cse_respects_writes () =
+  (* A is stored between the two identical loads: no sharing allowed *)
+  let sub off : Code.subscript array = [| { Code.base = ""; off } |] in
+  let load = Code.Load ("A", sub 3) in
+  let p =
+    {
+      Code.name = "clobber";
+      allocs = [ { Code.name = "A"; dims = [| (0, 9) |] }; { Code.name = "B"; dims = [| (0, 9) |] } ];
+      scalars = [ ("x", 0.0); ("y", 0.0) ];
+      body =
+        [
+          Code.Store ("A", sub 3, Code.Const 5.0);
+          Code.Sassign ("x", Code.Binop (Expr.Add, load, Code.Const 1.0));
+          Code.Store ("A", sub 3, Code.Const 9.0);
+          Code.Sassign ("y", Code.Binop (Expr.Add, load, Code.Const 1.0));
+        ];
+      live_out = [ "x"; "y" ];
+    }
+  in
+  let q = Sir.Simplify.program p in
+  let r = Exec.Interp.run q in
+  Alcotest.(check (float 0.0)) "x sees 5" 6.0 (Exec.Interp.get_scalar r "x");
+  Alcotest.(check (float 0.0)) "y sees 9" 10.0 (Exec.Interp.get_scalar r "y")
+
+let test_cse_across_loop_blocked () =
+  (* the same expression before and after a loop that clobbers its
+     input must not be shared *)
+  let sub off : Code.subscript array = [| { Code.base = ""; off } |] in
+  let load = Code.Load ("A", sub 0) in
+  let p =
+    {
+      Code.name = "span";
+      allocs = [ { Code.name = "A"; dims = [| (0, 3) |] } ];
+      scalars = [ ("x", 0.0); ("y", 0.0) ];
+      body =
+        [
+          Code.Sassign ("x", Code.Binop (Expr.Mul, load, load));
+          Code.For
+            {
+              var = "__i1";
+              lo = 0;
+              hi = 0;
+              step = 1;
+              body = [ Code.Store ("A", sub 0, Code.Const 7.0) ];
+            };
+          Code.Sassign ("y", Code.Binop (Expr.Mul, load, load));
+        ];
+      live_out = [ "x"; "y" ];
+    }
+  in
+  let q = Sir.Simplify.program p in
+  let r = Exec.Interp.run q in
+  Alcotest.(check (float 0.0)) "x from initial 0" 0.0 (Exec.Interp.get_scalar r "x");
+  Alcotest.(check (float 0.0)) "y from 7" 49.0 (Exec.Interp.get_scalar r "y")
+
+(* Property: simplification preserves the semantics of every compiled
+   benchmark and never increases static operation count. *)
+let test_simplify_benchmarks () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let tile = match b.Suite.name with "ep" -> 128 | _ -> 8 in
+      let prog = Suite.program ~tile b in
+      List.iter
+        (fun level ->
+          let c = Compilers.Driver.compile ~level prog in
+          let code = c.Compilers.Driver.code in
+          let simplified = Sir.Simplify.program code in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s ops do not grow" b.Suite.name)
+            true
+            (Sir.Simplify.count_ops simplified <= Sir.Simplify.count_ops code);
+          Alcotest.(check string)
+            (Printf.sprintf "%s @ %s simplified equivalently" b.Suite.name
+               (Compilers.Driver.level_name level))
+            (Exec.Interp.checksum (Exec.Interp.run code))
+            (Exec.Interp.checksum (Exec.Interp.run simplified)))
+        Compilers.Driver.[ Baseline; C2F3 ])
+    Suite.all
+
+let suites =
+  [
+    ( "sir.simplify",
+      [
+        Alcotest.test_case "constant folding" `Quick test_fold_constants;
+        Alcotest.test_case "identities" `Quick test_fold_identities;
+        Alcotest.test_case "select folding" `Quick test_fold_select;
+        Alcotest.test_case "CSE shares loads" `Quick test_cse_shares;
+        Alcotest.test_case "CSE respects writes" `Quick test_cse_respects_writes;
+        Alcotest.test_case "CSE blocked across loops" `Quick test_cse_across_loop_blocked;
+        Alcotest.test_case "benchmarks unchanged" `Quick test_simplify_benchmarks;
+      ] );
+  ]

@@ -1,0 +1,268 @@
+(* Benchmarks and Figure 5/6 fragments. *)
+
+let small_tile (b : Suite.bench) =
+  (* tiny tiles keep the full cross-product of levels fast *)
+  match b.Suite.name with "ep" -> 128 | _ -> 10
+
+let levels = Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ]
+
+let test_benchmarks_valid () =
+  List.iter
+    (fun b ->
+      let prog = Suite.program b in
+      match Ir.Prog.validate prog with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" b.Suite.name e)
+    Suite.all
+
+(* Figure 7 golden numbers for this repository (EXPERIMENTS.md compares
+   them against the paper's). *)
+let test_static_counts () =
+  let expect =
+    [
+      ("ep", (0, 22), 0);
+      ("frac", (3, 8), 3);
+      ("tomcatv", (4, 15), 7);
+      ("sp", (5, 18), 17);
+      ("simple", (6, 32), 27);
+      ("fibro", (0, 49), 27);
+    ]
+  in
+  List.iter
+    (fun (name, (ec, eu), remaining) ->
+      let prog = Suite.load name in
+      Alcotest.(check (pair int int))
+        (name ^ " static compiler/user")
+        (ec, eu)
+        (Ir.Prog.static_array_counts prog);
+      let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+      Alcotest.(check int)
+        (name ^ " arrays after c2")
+        remaining
+        (Compilers.Driver.remaining_arrays c))
+    expect
+
+let test_equivalence_all_levels () =
+  List.iter
+    (fun b ->
+      let prog = Suite.program ~tile:(small_tile b) b in
+      let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
+      List.iter
+        (fun level ->
+          let c = Compilers.Driver.compile ~level prog in
+          let r = Exec.Interp.run c.Compilers.Driver.code in
+          Alcotest.(check string)
+            (Printf.sprintf "%s @ %s" b.Suite.name
+               (Compilers.Driver.level_name level))
+            reference (Exec.Interp.checksum r))
+        levels)
+    Suite.all
+
+let test_equivalence_favor_comm () =
+  (* the favor-communication veto must never change results *)
+  List.iter
+    (fun b ->
+      let prog = Suite.program ~tile:(small_tile b) b in
+      let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
+      let veto = Comm.Interact.favor_comm_veto ~procs:4 prog in
+      let c =
+        Compilers.Driver.compile ~may_fuse:veto ~level:Compilers.Driver.C2F3
+          prog
+      in
+      let r = Exec.Interp.run c.Compilers.Driver.code in
+      Alcotest.(check string) b.Suite.name reference (Exec.Interp.checksum r))
+    Suite.all
+
+let test_ep_all_arrays_eliminated () =
+  let prog = Suite.load ~tile:64 "ep" in
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  Alcotest.(check int) "no arrays left" 0
+    (Compilers.Driver.remaining_arrays c);
+  (* and the result is still a real computation *)
+  let r = Exec.Interp.run c.Compilers.Driver.code in
+  let cnt = Exec.Interp.get_scalar r "cnt" in
+  Alcotest.(check bool) "some pairs accepted" true (cnt > 10.0)
+
+let test_tomcatv_R_contracts () =
+  (* the paper's Figure 1 narrative: the multiplier R_ contracts after
+     fusing with the D update under a reversed row loop *)
+  let prog = Suite.load ~tile:10 "tomcatv" in
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  Alcotest.(check bool) "R_ contracted" true
+    (List.mem_assoc "R_" c.Compilers.Driver.contracted);
+  Alcotest.(check bool) "D allocated" true
+    (List.exists
+       (fun (a : Sir.Code.alloc) -> a.Sir.Code.name = "D")
+       c.Compilers.Driver.code.Sir.Code.allocs)
+
+let test_monotone_memory () =
+  (* footprint never grows along the level ladder on any benchmark *)
+  List.iter
+    (fun b ->
+      let prog = Suite.program ~tile:(small_tile b) b in
+      let bytes level =
+        Exec.Interp.footprint_bytes
+          (Compilers.Driver.compile ~level prog).Compilers.Driver.code
+      in
+      let base = bytes Compilers.Driver.Baseline in
+      let c1 = bytes Compilers.Driver.C1 in
+      let c2 = bytes Compilers.Driver.C2 in
+      Alcotest.(check bool)
+        (b.Suite.name ^ " monotone")
+        true
+        (c2 <= c1 && c1 <= base))
+    Suite.all
+
+let test_suite_lookup () =
+  Alcotest.(check int) "six benchmarks" 6 (List.length Suite.all);
+  Alcotest.(check bool) "by_name" true (Suite.by_name "tomcatv" <> None);
+  Alcotest.(check bool)
+    "unknown rejected" true
+    (try
+       ignore (Suite.load "linpack");
+       false
+     with Invalid_argument _ -> true)
+
+let test_adi3d () =
+  (* the rank-3 extra benchmark: validity, contraction, 3-D loop
+     structures, equivalence at every level, and 3-D communication *)
+  let prog = Suite.load ~tile:6 "adi3d" in
+  (match Ir.Prog.validate prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (pair int int))
+    "static counts" (4, 4)
+    (Ir.Prog.static_array_counts prog);
+  let c2 = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  Alcotest.(check int) "U, RHS, COEF remain" 3
+    (Compilers.Driver.remaining_arrays c2);
+  let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
+  List.iter
+    (fun level ->
+      let c = Compilers.Driver.compile ~level prog in
+      Alcotest.(check string)
+        ("adi3d @ " ^ Compilers.Driver.level_name level)
+        reference
+        (Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code)))
+    levels;
+  (* a sweep cluster must carry a reversed loop over its swept axis *)
+  let reversed_somewhere =
+    List.exists
+      (fun (bp : Sir.Scalarize.block_plan) ->
+        let p = bp.Sir.Scalarize.partition in
+        List.exists
+          (fun cluster ->
+            match Core.Partition.loop_structure p (List.hd cluster) with
+            | Some ls ->
+                List.exists (fun x -> x < 0) (Support.Vec.to_list ls)
+            | None -> false)
+          (Core.Partition.clusters p))
+      c2.Compilers.Driver.plan
+  in
+  Alcotest.(check bool) "reversed 3-D loop used" true reversed_somewhere;
+  (* 3-D distribution: 8 processors form a 2x2x2 grid *)
+  let d = Comm.Dist.make ~rank:3 ~procs:8 in
+  Alcotest.(check (list int)) "2x2x2" [ 2; 2; 2 ]
+    (Array.to_list (Comm.Dist.per_dim d));
+  let s =
+    Comm.Model.analyze ~machine:Machine.t3e ~procs:8
+      ~opts:Comm.Model.all_on c2
+  in
+  Alcotest.(check bool) "3-D exchanges exist" true (s.Comm.Model.messages > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-coded scalar versions (paper §5.2)                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_handcoded_ep () =
+  let n = 512 in
+  let prog = Suite.load ~tile:n "ep" in
+  let r = Exec.Refinterp.run prog in
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check (float 0.0))
+        ("ep scalar " ^ name)
+        want
+        (Exec.Refinterp.get_scalar r name))
+    (Suite.Handcoded.ep ~n);
+  (* sanity: the histogram accounts for every accepted pair *)
+  let hand = Suite.Handcoded.ep ~n in
+  let cnt = List.assoc "cnt" hand in
+  let qsum =
+    List.fold_left
+      (fun acc (k, v) -> if String.length k = 2 && k.[0] = 'q' then acc +. v else acc)
+      0.0 hand
+  in
+  Alcotest.(check (float 1e-9)) "histogram total" cnt qsum
+
+let test_handcoded_frac () =
+  let n = 24 and iters = 8 in
+  let prog =
+    Suite.load ~tile:n ~config:[ ("iters", float_of_int iters) ] "frac"
+  in
+  let r = Exec.Refinterp.run prog in
+  let want =
+    Suite.Handcoded.frac ~n ~iters ~xmin:(-2.0) ~ymin:(-1.5) ~scale:3.0
+  in
+  Alcotest.(check bool)
+    "bit-identical image" true
+    (Exec.Refinterp.get_array r "IMG" = want)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6_matches_paper () =
+  List.iter
+    (fun ((f : Suite.Fragments.t), rows) ->
+      List.iter
+        (fun ((caps : Compilers.Vendors.caps), got) ->
+          let expected =
+            List.assoc caps.Compilers.Vendors.vname f.Suite.Fragments.expected
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "fragment (%d) under %s" f.Suite.Fragments.id
+               caps.Compilers.Vendors.vname)
+            expected got)
+        rows)
+    (Suite.Fragments.evaluate ())
+
+let test_fragments_execute () =
+  (* fragments are real programs: the ZPL-emulation output must match
+     reference semantics *)
+  List.iter
+    (fun (f : Suite.Fragments.t) ->
+      let prog = Zap.Elaborate.compile_string f.Suite.Fragments.source in
+      let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
+      let c = Compilers.Driver.compile ~level:Compilers.Driver.C2F3 prog in
+      let r = Exec.Interp.run c.Compilers.Driver.code in
+      Alcotest.(check string)
+        (Printf.sprintf "fragment (%d)" f.Suite.Fragments.id)
+        reference (Exec.Interp.checksum r))
+    Suite.Fragments.all
+
+let suites =
+  [
+    ( "suite.benchmarks",
+      [
+        Alcotest.test_case "all valid" `Quick test_benchmarks_valid;
+        Alcotest.test_case "static array counts (Fig 7)" `Quick test_static_counts;
+        Alcotest.test_case "equivalence at all levels" `Quick test_equivalence_all_levels;
+        Alcotest.test_case "equivalence under favor-comm" `Quick test_equivalence_favor_comm;
+        Alcotest.test_case "EP eliminates every array" `Quick test_ep_all_arrays_eliminated;
+        Alcotest.test_case "tomcatv contracts R (Fig 1)" `Quick test_tomcatv_R_contracts;
+        Alcotest.test_case "memory monotone over levels" `Quick test_monotone_memory;
+        Alcotest.test_case "lookup" `Quick test_suite_lookup;
+        Alcotest.test_case "adi3d (rank 3 extra)" `Quick test_adi3d;
+      ] );
+    ( "suite.handcoded",
+      [
+        Alcotest.test_case "EP bit-identical" `Quick test_handcoded_ep;
+        Alcotest.test_case "Frac bit-identical" `Quick test_handcoded_frac;
+      ] );
+    ( "suite.fig6",
+      [
+        Alcotest.test_case "matches the paper" `Quick test_fig6_matches_paper;
+        Alcotest.test_case "fragments execute correctly" `Quick test_fragments_execute;
+      ] );
+  ]

@@ -1,0 +1,138 @@
+open Support
+
+let vec = Alcotest.testable (Fmt.of_to_string Vec.to_string) Vec.equal
+
+let test_vec_ops () =
+  let a = Vec.of_list [ 1; -2; 3 ] and b = Vec.of_list [ 0; 1; 1 ] in
+  Alcotest.check vec "add" (Vec.of_list [ 1; -1; 4 ]) (Vec.add a b);
+  Alcotest.check vec "sub" (Vec.of_list [ 1; -3; 2 ]) (Vec.sub a b);
+  Alcotest.check vec "neg" (Vec.of_list [ -1; 2; -3 ]) (Vec.neg a);
+  Alcotest.(check bool) "null zero" true (Vec.is_null (Vec.zero 4));
+  Alcotest.(check bool) "null nonzero" false (Vec.is_null a);
+  Alcotest.(check int) "get is 1-indexed" (-2) (Vec.get a 2)
+
+let test_vec_rank_mismatch () =
+  Alcotest.check_raises "add mismatched ranks"
+    (Invalid_argument "Vec.add: rank mismatch (2 vs 3)") (fun () ->
+      ignore (Vec.add (Vec.zero 2) (Vec.zero 3)))
+
+let test_lex () =
+  let check s expect v =
+    Alcotest.(check bool) s expect (Vec.lex_nonneg (Vec.of_list v))
+  in
+  check "null is nonneg" true [ 0; 0 ];
+  check "(0,1)" true [ 0; 1 ];
+  check "(1,-5)" true [ 1; -5 ];
+  check "(-1,9)" false [ -1; 9 ];
+  check "(0,-1)" false [ 0; -1 ];
+  Alcotest.(check bool) "lex_pos null" false (Vec.lex_pos (Vec.zero 3));
+  Alcotest.(check bool) "lex_pos (0,2)" true (Vec.lex_pos (Vec.of_list [ 0; 2 ]))
+
+let prop_lex_trichotomy =
+  QCheck.Test.make ~name:"lex: v nonneg or -v nonneg (or both iff null)"
+    ~count:500
+    QCheck.(list_of_size Gen.(int_range 1 5) (int_range (-4) 4))
+    (fun l ->
+      let v = Vec.of_list l in
+      let n = Vec.lex_nonneg v and m = Vec.lex_nonneg (Vec.neg v) in
+      (n || m) && (n && m) = Vec.is_null v)
+
+let test_topo_line () =
+  let order =
+    Toposort.sort_exn ~n:4 ~edges:[ (2, 1); (1, 0); (3, 2) ]
+  in
+  Alcotest.(check (list int)) "line order" [ 3; 2; 1; 0 ] order
+
+let test_topo_stable () =
+  (* no constraints: source order preserved *)
+  let order = Toposort.sort_exn ~n:4 ~edges:[] in
+  Alcotest.(check (list int)) "stable" [ 0; 1; 2; 3 ] order;
+  (* one constraint should reorder minimally *)
+  let order = Toposort.sort_exn ~n:3 ~edges:[ (2, 0) ] in
+  Alcotest.(check (list int)) "minimal reorder" [ 1; 2; 0 ] order
+
+let test_topo_cycle () =
+  Alcotest.(check bool)
+    "cycle detected" true
+    (Toposort.has_cycle ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ]);
+  Alcotest.(check bool)
+    "dag is acyclic" false
+    (Toposort.has_cycle ~n:3 ~edges:[ (0, 1); (0, 2); (1, 2) ])
+
+let test_reachable () =
+  let r =
+    Toposort.reachable ~n:5 ~edges:[ (0, 1); (1, 2); (3, 4) ] ~from:[ 0 ]
+  in
+  Alcotest.(check (list bool))
+    "reach from 0"
+    [ true; true; true; false; false ]
+    (Array.to_list r)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"toposort respects all edges" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 0 12) (pair (int_range 0 7) (int_range 0 7))))
+    (fun (n, raw) ->
+      let edges =
+        List.filter (fun (a, b) -> a < n && b < n && a <> b) raw
+      in
+      match Toposort.sort ~n ~edges with
+      | None -> Toposort.has_cycle ~n ~edges
+      | Some order ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i v -> pos.(v) <- i) order;
+          List.for_all (fun (a, b) -> pos.(a) < pos.(b)) edges)
+
+let test_dsu () =
+  let d = Dsu.create 6 in
+  Dsu.union d 4 2;
+  Dsu.union d 2 5;
+  Alcotest.(check int) "min rep" 2 (Dsu.find d 5);
+  Alcotest.(check bool) "same" true (Dsu.same d 4 5);
+  Alcotest.(check bool) "not same" false (Dsu.same d 0 5);
+  Alcotest.(check int) "n_sets" 4 (Dsu.n_sets d);
+  Alcotest.(check (list (list int)))
+    "groups"
+    [ [ 0 ]; [ 1 ]; [ 2; 4; 5 ]; [ 3 ] ]
+    (Dsu.groups d);
+  let d2 = Dsu.copy d in
+  Dsu.union d2 0 1;
+  Alcotest.(check bool) "copy is independent" false (Dsu.same d 0 1)
+
+let test_prng () =
+  let r = Prng.create 42L in
+  let xs = List.init 1000 (fun _ -> Prng.next_float r) in
+  Alcotest.(check bool)
+    "all in (0,1)" true
+    (List.for_all (fun x -> x > 0.0 && x < 1.0) xs);
+  let mean = List.fold_left ( +. ) 0.0 xs /. 1000.0 in
+  Alcotest.(check bool) "mean near 1/2" true (abs_float (mean -. 0.5) < 0.05);
+  let r1 = Prng.create 7L and r2 = Prng.create 7L in
+  Alcotest.(check (list (float 0.0)))
+    "deterministic"
+    (List.init 10 (fun _ -> Prng.next_float r1))
+    (List.init 10 (fun _ -> Prng.next_float r2))
+
+let suites =
+  [
+    ( "support.vec",
+      [
+        Alcotest.test_case "ops" `Quick test_vec_ops;
+        Alcotest.test_case "rank mismatch" `Quick test_vec_rank_mismatch;
+        Alcotest.test_case "lexicographic" `Quick test_lex;
+        QCheck_alcotest.to_alcotest prop_lex_trichotomy;
+      ] );
+    ( "support.toposort",
+      [
+        Alcotest.test_case "line" `Quick test_topo_line;
+        Alcotest.test_case "stable" `Quick test_topo_stable;
+        Alcotest.test_case "cycle" `Quick test_topo_cycle;
+        Alcotest.test_case "reachable" `Quick test_reachable;
+        QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+      ] );
+    ( "support.dsu",
+      [ Alcotest.test_case "basics" `Quick test_dsu ] );
+    ( "support.prng",
+      [ Alcotest.test_case "uniformity" `Quick test_prng ] );
+  ]

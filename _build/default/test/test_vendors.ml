@@ -1,0 +1,112 @@
+(* Commercial-compiler emulations beyond the Figure 6 fragments. *)
+
+open Ir
+module Vec = Support.Vec
+
+let v = Vec.of_list
+let interior = Region.of_bounds [ (1, 6); (1, 6) ]
+let padded = Region.of_bounds [ (0, 7); (0, 7) ]
+
+let prog_of ?(temps = []) ?(live = [ "A" ]) stmts =
+  {
+    Prog.name = "v";
+    arrays =
+      List.map (fun name -> { Prog.name; bounds = padded; kind = Prog.User })
+        [ "A"; "B"; "C"; "T1"; "T2" ]
+      @ List.map
+          (fun name -> { Prog.name; bounds = padded; kind = Prog.Compiler })
+          temps;
+    scalars = [];
+    body = List.map (fun s -> Prog.Astmt s) stmts;
+    live_out = live;
+  }
+
+let stmt ?(r = interior) lhs rhs = Nstmt.make ~region:r ~lhs rhs
+
+let test_caps_metadata () =
+  Alcotest.(check int) "five vendors" 5 (List.length Compilers.Vendors.all);
+  Alcotest.(check bool) "zpl integrated" true
+    Compilers.Vendors.zpl.Compilers.Vendors.integrated;
+  Alcotest.(check bool) "cray separate" false
+    Compilers.Vendors.cray.Compilers.Vendors.integrated;
+  Alcotest.(check bool) "pgi no locality fusion" false
+    Compilers.Vendors.pgi.Compilers.Vendors.fuse_locality
+
+let test_pgi_never_fuses_independent () =
+  let stmts =
+    [
+      stmt "B" Expr.(Binop (Add, Ref ("A", v [ 0; 0 ]), Ref ("A", v [ 0; 0 ])));
+      stmt "C" Expr.(Binop (Mul, Ref ("A", v [ 0; 0 ]), Ref ("A", v [ 0; 0 ])));
+    ]
+  in
+  let prog = prog_of ~live:[ "A"; "B"; "C" ] stmts in
+  let r = Compilers.Vendors.optimize_block Compilers.Vendors.pgi prog stmts in
+  Alcotest.(check int) "two nests" 2 (Compilers.Vendors.n_nests r);
+  let z = Compilers.Vendors.optimize_block Compilers.Vendors.zpl prog stmts in
+  Alcotest.(check int) "zpl fuses" 1 (Compilers.Vendors.n_nests z)
+
+let test_anti_veto_unit () =
+  (* direct check of the no-anti fusion limitation on a loop-carried
+     anti dependence *)
+  let stmts =
+    [
+      stmt "B" Expr.(Binop (Add, Ref ("A", v [ 0; 0 ]), Ref ("C", v [ -1; 0 ])));
+      stmt "C" Expr.(Binop (Mul, Ref ("A", v [ 0; 0 ]), Ref ("A", v [ 0; 0 ])));
+    ]
+  in
+  let prog = prog_of ~live:[ "A"; "B"; "C" ] stmts in
+  let apr = Compilers.Vendors.optimize_block Compilers.Vendors.apr prog stmts in
+  Alcotest.(check int) "apr cannot fuse" 2 (Compilers.Vendors.n_nests apr);
+  let zpl = Compilers.Vendors.optimize_block Compilers.Vendors.zpl prog stmts in
+  Alcotest.(check int) "zpl reverses and fuses" 1 (Compilers.Vendors.n_nests zpl);
+  (* an offset-0 anti dependence is a null UDV: not loop-carried, so
+     even the limited compilers may fuse *)
+  let stmts0 =
+    [
+      stmt "B" Expr.(Binop (Add, Ref ("A", v [ 0; 0 ]), Ref ("C", v [ 0; 0 ])));
+      stmt "C" Expr.(Binop (Mul, Ref ("A", v [ 0; 0 ]), Ref ("A", v [ 0; 0 ])));
+    ]
+  in
+  let prog0 = prog_of ~live:[ "A"; "B"; "C" ] stmts0 in
+  let apr0 = Compilers.Vendors.optimize_block Compilers.Vendors.apr prog0 stmts0 in
+  Alcotest.(check int) "null anti ok" 1 (Compilers.Vendors.n_nests apr0)
+
+let test_cray_separate_vs_zpl_integrated () =
+  (* the fragment-(8) mechanism in isolation: contracting the compiler
+     temporary first blocks the two user temporaries *)
+  let stmts =
+    [
+      stmt "T1" Expr.(Binop (Add, Ref ("A", v [ -1; 0 ]), Ref ("B", v [ 0; 0 ])));
+      stmt "T2" Expr.(Binop (Mul, Ref ("A", v [ -1; 0 ]), Ref ("B", v [ 0; 0 ])));
+      stmt "__x"
+        Expr.(
+          Binop
+            ( Add,
+              Ref ("A", v [ 1; 0 ]),
+              Binop
+                ( Add,
+                  Binop (Mul, Ref ("T1", v [ 0; 0 ]), Ref ("T1", v [ 0; 0 ])),
+                  Binop (Mul, Ref ("T2", v [ 0; 0 ]), Ref ("T2", v [ 0; 0 ])) ) ));
+      stmt "A" Expr.(Ref ("__x", v [ 0; 0 ]));
+    ]
+  in
+  let prog = prog_of ~temps:[ "__x" ] ~live:[ "A"; "B" ] stmts in
+  let cray = Compilers.Vendors.optimize_block Compilers.Vendors.cray prog stmts in
+  Alcotest.(check (list string))
+    "cray contracts the compiler temp only" [ "__x" ]
+    cray.Compilers.Vendors.contracted;
+  let zpl = Compilers.Vendors.optimize_block Compilers.Vendors.zpl prog stmts in
+  Alcotest.(check (list string))
+    "zpl weighs and takes both user temps" [ "T1"; "T2" ]
+    zpl.Compilers.Vendors.contracted
+
+let suites =
+  [
+    ( "vendors",
+      [
+        Alcotest.test_case "capability metadata" `Quick test_caps_metadata;
+        Alcotest.test_case "pgi fuses nothing" `Quick test_pgi_never_fuses_independent;
+        Alcotest.test_case "anti-dependence veto" `Quick test_anti_veto_unit;
+        Alcotest.test_case "separate vs integrated" `Quick test_cray_separate_vs_zpl_integrated;
+      ] );
+  ]

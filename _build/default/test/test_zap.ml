@@ -1,0 +1,289 @@
+(* Frontend: lexer, parser, elaboration, normalization. *)
+
+open Ir
+
+let compile = Zap.Elaborate.compile_string
+
+let heat_src =
+  {|
+program heat;
+config n := 6;
+region R = [1..n, 1..n];
+region All = [0..n+1, 0..n+1];
+direction north = [-1, 0];
+direction south = [1, 0];
+var A, B, Flux : All;
+scalar total := 0.0;
+export A, total;
+begin
+  [All] A := 0.25 * index1 + 0.5 * index2;   -- initial mesh
+  for t := 1 to 3 do
+    [R] B := 0.25 * (A@north + A@south + A@[0,-1] + A@[0,1]);
+    [R] Flux := B * B;
+    [R] A := B - 0.1 * Flux;
+  end;
+  total := +<< R A;
+end.
+|}
+
+let test_lexer () =
+  let toks = Zap.Lexer.tokenize "x := +<< [1..n] a@[-1,0]; -- c\ny" in
+  let kinds = List.map fst toks in
+  Alcotest.(check bool)
+    "reduction token" true
+    (List.mem (Zap.Token.RED "+<<") kinds);
+  Alcotest.(check bool) "comment skipped" true
+    (not (List.exists (function Zap.Token.IDENT "c" -> true | _ -> false) kinds));
+  Alcotest.(check bool) "dotdot" true (List.mem Zap.Token.DOTDOT kinds);
+  (* line numbers *)
+  let y_line =
+    List.assoc (Zap.Token.IDENT "y") (List.map (fun (t, l) -> (t, l)) toks)
+  in
+  Alcotest.(check int) "line tracking" 2 y_line
+
+let test_lexer_reserved () =
+  Alcotest.(check bool)
+    "__ reserved" true
+    (try
+       ignore (Zap.Lexer.tokenize "__t1");
+       false
+     with Zap.Lexer.Error _ -> true)
+
+let test_lexer_minmax_red () =
+  let toks = List.map fst (Zap.Lexer.tokenize "m := min<< R x; k := max(a,b);") in
+  Alcotest.(check bool) "min<<" true (List.mem (Zap.Token.RED "min<<") toks);
+  Alcotest.(check bool)
+    "max is a plain call" true
+    (List.mem (Zap.Token.IDENT "max") toks)
+
+let test_parse_and_elaborate () =
+  let prog = compile heat_src in
+  Alcotest.(check string) "name" "heat" prog.Prog.name;
+  (match Prog.validate prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check (pair int int))
+    "3 user + 0 compiler arrays" (0, 3)
+    (Prog.static_array_counts prog);
+  Alcotest.(check (list string)) "live out" [ "A"; "total" ] prog.Prog.live_out;
+  (* blocks: init | loop body | (reduce ends program) *)
+  Alcotest.(check int) "blocks" 2 (List.length (Prog.blocks prog))
+
+let test_config_override () =
+  let p6 = compile heat_src in
+  let p10 = compile ~config:[ ("n", 10.0) ] heat_src in
+  let vol p =
+    match Prog.find_array p "A" with
+    | Some a -> Region.volume a.Prog.bounds
+    | None -> -1
+  in
+  Alcotest.(check int) "default n=6" (8 * 8) (vol p6);
+  Alcotest.(check int) "override n=10" (12 * 12) (vol p10)
+
+let test_temp_insertion () =
+  let src =
+    {|
+program frag4;
+config n := 4;
+region R = [1..n, 1..n];
+var A : [0..n+1, 0..n+1];
+export A;
+begin
+  [R] A := A@[-1,0] + A@[-1,0];
+end.
+|}
+  in
+  let prog = compile src in
+  Alcotest.(check (pair int int))
+    "one compiler temp inserted" (1, 1)
+    (Prog.static_array_counts prog);
+  match Prog.blocks prog with
+  | [ [ s1; s2 ] ] ->
+      Alcotest.(check string) "temp written first" "__t1" s1.Nstmt.lhs;
+      Alcotest.(check string) "then copied" "A" s2.Nstmt.lhs
+  | _ -> Alcotest.fail "expected one block of two statements"
+
+let test_temp_offset_zero_insertion () =
+  (* even an offset-0 self read goes through a temporary: the paper's
+     always-insert policy; the optimizer contracts it away *)
+  let src =
+    {|
+program selfread;
+config n := 4;
+region R = [1..n];
+var A : [0..n+1];
+export A;
+begin
+  [R] A := A + 1.0;
+end.
+|}
+  in
+  let prog = compile src in
+  Alcotest.(check (pair int int)) "temp inserted" (1, 1)
+    (Prog.static_array_counts prog);
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  Alcotest.(check int) "temp contracted away" 1
+    (Compilers.Driver.remaining_arrays c)
+
+(* Precedence checks via a 1-point program: compile, run, compare with
+   the directly computed value. *)
+let scalar_result expr_src =
+  let src =
+    Printf.sprintf
+      {|program p;
+region R = [1..1];
+var A : [1..1];
+scalar k := 3.0;
+export A;
+begin
+  [R] A := %s;
+end.|}
+      expr_src
+  in
+  let prog = compile src in
+  let r = Exec.Refinterp.run prog in
+  (Exec.Refinterp.get_array r "A").(0)
+
+let test_precedence () =
+  let cases =
+    [
+      ("1 + 2 * 3", 7.0);
+      ("(1 + 2) * 3", 9.0);
+      ("2 * 3 ^ 2", 18.0);            (* ^ binds tighter than * *)
+      ("-2 ^ 2", -4.0);               (* Fortran-style: -(2^2) *)
+      ("10 - 4 - 3", 3.0);            (* left assoc *)
+      ("12 / 4 / 3", 1.0);
+      ("1 + 2 < 4", 1.0);             (* comparison below arithmetic *)
+      ("1 < 2 && 3 < 2", 0.0);        (* && below comparison *)
+      ("0 < 1 || 1 < 0", 1.0);
+      ("!(1 < 2)", 0.0);
+      ("k * 2 + 1", 7.0);             (* scalar read *)
+      ("min(4, max(2, 3))", 3.0);
+      ("select(2 > 1, 10, 20)", 10.0);
+      ("index1 * 5", 5.0);            (* only point is i = 1 *)
+      ("abs(-3) + floor(2.9)", 5.0);
+    ]
+  in
+  List.iter
+    (fun (src, want) ->
+      Alcotest.(check (float 1e-12)) src want (scalar_result src))
+    cases
+
+let test_config_arithmetic () =
+  (* config constants fold through region bounds and loop bounds *)
+  let src =
+    {|program p;
+config n := 4;
+config half := n / 2;
+region R = [half..n * 2 - 1];
+var A : [1..10];
+scalar s := 0.0;
+export s;
+begin
+  for t := 1 to half do
+    [R] A := A + 1.0;
+  end;
+  s := +<< R A;
+end.|}
+  in
+  let prog = compile src in
+  let r = Exec.Refinterp.run prog in
+  (* region [2..7] = 6 points, each incremented twice (half = 2) *)
+  Alcotest.(check (float 1e-12)) "config math" 12.0
+    (Exec.Refinterp.get_scalar r "s")
+
+let expect_error ?(sub = "") src =
+  match compile src with
+  | exception Zap.Elaborate.Error (_, msg) ->
+      if sub <> "" && not (Astring.String.is_infix ~affix:sub msg) then
+        Alcotest.failf "error %S does not mention %S" msg sub
+  | exception Zap.Parser.Error _ -> ()
+  | exception Zap.Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "expected a compile error"
+
+let test_non_integer_bound_rejected () =
+  expect_error ~sub:"integer"
+    {|program p;
+config n := 5;
+region R = [1..n / 2];
+var A : [1..4];
+export A;
+begin
+  [R] A := 1.0;
+end.|}
+
+let test_errors () =
+  expect_error ~sub:"unknown region"
+    "program p; var A : [1..4]; export A; begin [R] A := 1.0; end.";
+  expect_error ~sub:"rank"
+    {|program p; region R = [1..4,1..4]; var A : [1..4]; export A;
+      begin [R] A := 2.0; end.|};
+  expect_error ~sub:"scalar context"
+    {|program p; region R = [1..4]; var A : [0..5]; scalar s; export s;
+      begin s := A + 1.0; end.|};
+  expect_error ~sub:"escapes bounds"
+    {|program p; region R = [1..4]; var A, B : [1..4]; export B;
+      begin [R] B := A@[-1]; end.|};
+  expect_error ~sub:"undeclared scalar"
+    "program p; begin s := 1.0; end.";
+  expect_error ~sub:"region prefix"
+    {|program p; region R = [1..4]; var A : [1..4]; export A;
+      begin A := 1.0; end.|}
+
+let test_zap_end_to_end () =
+  (* full pipeline on a parsed program: all levels equivalent *)
+  let prog = compile heat_src in
+  let reference = Exec.Refinterp.run prog in
+  let ref_sum = Exec.Refinterp.checksum reference in
+  List.iter
+    (fun level ->
+      let c = Compilers.Driver.compile ~level prog in
+      let r = Exec.Interp.run c.Compilers.Driver.code in
+      Alcotest.(check string)
+        (Compilers.Driver.level_name level)
+        ref_sum (Exec.Interp.checksum r))
+    (Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ]);
+  (* and the computation is actually sensible: total is finite, nonzero *)
+  let t = Exec.Refinterp.get_scalar reference "total" in
+  Alcotest.(check bool) "total finite" true (Float.is_finite t && t <> 0.0)
+
+let test_heat_contraction () =
+  let prog = compile heat_src in
+  let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  (* Flux is consumed at offset 0 and contracts; B cannot — the
+     stencil's mixed-sign anti dependences against the A update leave
+     its producer and consumers unfusable (no legal loop structure). *)
+  Alcotest.(check (pair int int)) "user temp contracted" (0, 1)
+    (Compilers.Driver.contracted_counts c);
+  Alcotest.(check bool) "Flux gone" true
+    (List.for_all
+       (fun (a : Sir.Code.alloc) -> a.Sir.Code.name <> "Flux")
+       c.Compilers.Driver.code.Sir.Code.allocs);
+  Alcotest.(check int) "A and B remain" 2
+    (Compilers.Driver.remaining_arrays c)
+
+let suites =
+  [
+    ( "zap.lexer",
+      [
+        Alcotest.test_case "tokens" `Quick test_lexer;
+        Alcotest.test_case "reserved names" `Quick test_lexer_reserved;
+        Alcotest.test_case "reduction vs call" `Quick test_lexer_minmax_red;
+      ] );
+    ( "zap.elaborate",
+      [
+        Alcotest.test_case "heat program" `Quick test_parse_and_elaborate;
+        Alcotest.test_case "config override" `Quick test_config_override;
+        Alcotest.test_case "temp insertion" `Quick test_temp_insertion;
+        Alcotest.test_case "offset-0 self read" `Quick test_temp_offset_zero_insertion;
+        Alcotest.test_case "diagnostics" `Quick test_errors;
+        Alcotest.test_case "precedence" `Quick test_precedence;
+        Alcotest.test_case "config arithmetic" `Quick test_config_arithmetic;
+        Alcotest.test_case "non-integer bound" `Quick test_non_integer_bound_rejected;
+      ] );
+    ( "zap.pipeline",
+      [
+        Alcotest.test_case "end to end equivalence" `Quick test_zap_end_to_end;
+        Alcotest.test_case "contraction of user temp" `Quick test_heat_contraction;
+      ] );
+  ]
