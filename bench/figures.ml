@@ -16,49 +16,85 @@ let procs_axis = [ 1; 4; 16; 64 ]
 (* ------------------------------------------------------------------ *)
 
 let fig6 () =
-  heading "Figure 6: observed behavior of five array language compilers";
-  Printf.printf "%-20s" "compiler";
-  List.iter (fun i -> Printf.printf " (%d)" i) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
-  print_newline ();
   let table = Suite.Fragments.evaluate () in
-  List.iter
-    (fun (caps : Compilers.Vendors.caps) ->
-      Printf.printf "%-20s" caps.Compilers.Vendors.vname;
-      List.iter
-        (fun ((_ : Suite.Fragments.t), rows) ->
-          let ok = List.assoc caps rows in
-          Printf.printf "  %s " (if ok then "Y" else "."))
-        table;
-      print_newline ())
-    Compilers.Vendors.all;
-  Printf.printf
-    "\n(1)-(3) statement fusion; (4)-(5) compiler temporaries;\n\
-     (6)-(7) user temporaries; (8) compiler/user trade-off.\n\
-     'Y' = proper fused/contracted code produced.\n"
+  if !json_mode then
+    List.iter
+      (fun (caps : Compilers.Vendors.caps) ->
+        List.iter
+          (fun ((frag : Suite.Fragments.t), rows) ->
+            json_row
+              Obs.Json.
+                [
+                  ("fig", String "fig6");
+                  ("compiler", String caps.Compilers.Vendors.vname);
+                  ("fragment", Int frag.Suite.Fragments.id);
+                  ("ok", Bool (List.assoc caps rows));
+                ])
+          table)
+      Compilers.Vendors.all
+  else begin
+    heading "Figure 6: observed behavior of five array language compilers";
+    Printf.printf "%-20s" "compiler";
+    List.iter (fun i -> Printf.printf " (%d)" i) [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+    print_newline ();
+    List.iter
+      (fun (caps : Compilers.Vendors.caps) ->
+        Printf.printf "%-20s" caps.Compilers.Vendors.vname;
+        List.iter
+          (fun ((_ : Suite.Fragments.t), rows) ->
+            let ok = List.assoc caps rows in
+            Printf.printf "  %s " (if ok then "Y" else "."))
+          table;
+        print_newline ())
+      Compilers.Vendors.all;
+    Printf.printf
+      "\n(1)-(3) statement fusion; (4)-(5) compiler temporaries;\n\
+       (6)-(7) user temporaries; (8) compiler/user trade-off.\n\
+       'Y' = proper fused/contracted code produced.\n"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figure 7: static arrays contracted                                  *)
 (* ------------------------------------------------------------------ *)
 
 let fig7 () =
-  heading "Figure 7: static arrays contracted (compiler/user)";
-  row "%-9s %22s %14s %9s %8s\n" "program" "w/o contraction (c/u)"
-    "w/ contraction" "% change" "scalar";
+  if not !json_mode then begin
+    heading "Figure 7: static arrays contracted (compiler/user)";
+    row "%-9s %22s %14s %9s %8s\n" "program" "w/o contraction (c/u)"
+      "w/ contraction" "% change" "scalar"
+  end;
   List.iter
     (fun (b : Suite.bench) ->
       let prog = Suite.program b in
       let nc, nu = Ir.Prog.static_array_counts prog in
-      let c = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+      let c = compile ~level:Compilers.Driver.C2 prog in
       let left = Compilers.Driver.remaining_arrays c in
       let total = nc + nu in
       let pct =
         100.0 *. float_of_int (left - total) /. float_of_int total
       in
-      row "%-9s %13d (%d/%d) %14d %8.1f%% %8s\n" b.Suite.name total nc nu
-        left pct
-        (match b.Suite.scalar_arrays with
-        | Some k -> string_of_int k
-        | None -> "na"))
+      if !json_mode then
+        json_row
+          Obs.Json.
+            [
+              ("fig", String "fig7");
+              ("bench", String b.Suite.name);
+              ("arrays_total", Int total);
+              ("arrays_compiler", Int nc);
+              ("arrays_user", Int nu);
+              ("arrays_after", Int left);
+              ("change_pct", Float pct);
+              ( "scalar_paper",
+                match b.Suite.scalar_arrays with
+                | Some k -> Int k
+                | None -> Null );
+            ]
+      else
+        row "%-9s %13d (%d/%d) %14d %8.1f%% %8s\n" b.Suite.name total nc nu
+          left pct
+          (match b.Suite.scalar_arrays with
+          | Some k -> string_of_int k
+          | None -> "na"))
     Suite.all
 
 (* ------------------------------------------------------------------ *)
@@ -71,7 +107,7 @@ let fig7 () =
 let max_tile ~level ~bytes ~cap (b : Suite.bench) =
   let fits n =
     let prog = Suite.program ~tile:n b in
-    let c = Compilers.Driver.compile ~level prog in
+    let c = compile ~level prog in
     Exec.Interp.footprint_bytes c.Compilers.Driver.code <= bytes
   in
   if fits cap then None (* unbounded within the cap *)
@@ -86,14 +122,16 @@ let max_tile ~level ~bytes ~cap (b : Suite.bench) =
   end
 
 let fig8 () =
-  heading "Figure 8: effect of contraction on maximum problem size";
-  row "%-9s %4s %4s %9s | %26s | %26s\n" "program" "lb" "la" "C-value"
-    "T3E max tile  (% / %vol)" "SP-2 max tile  (% / %vol)";
+  if not !json_mode then begin
+    heading "Figure 8: effect of contraction on maximum problem size";
+    row "%-9s %4s %4s %9s | %26s | %26s\n" "program" "lb" "la" "C-value"
+      "T3E max tile  (% / %vol)" "SP-2 max tile  (% / %vol)"
+  end;
   List.iter
     (fun (b : Suite.bench) ->
       let prog = Suite.program b in
-      let base = Compilers.Driver.compile ~level:Compilers.Driver.Baseline prog in
-      let c2 = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+      let base = compile ~level:Compilers.Driver.Baseline prog in
+      let c2 = compile ~level:Compilers.Driver.C2 prog in
       let lb = Compilers.Driver.remaining_arrays base in
       let la = Compilers.Driver.remaining_arrays c2 in
       let cval =
@@ -105,6 +143,9 @@ let fig8 () =
         let bytes = m.Machine.node_memory_bytes in
         let nb = max_tile ~level:Compilers.Driver.Baseline ~bytes ~cap b in
         let na = max_tile ~level:Compilers.Driver.C2 ~bytes ~cap b in
+        (nb, na)
+      in
+      let show (nb, na) =
         match (nb, na) with
         | Some nb, Some na ->
             let pct = 100.0 *. float_of_int (na - nb) /. float_of_int nb in
@@ -115,31 +156,56 @@ let fig8 () =
         | Some nb, None -> Printf.sprintf "%7d ->     inf (inf)" nb
         | None, _ -> "unbounded"
       in
-      row "%-9s %4d %4d %9s | %26s | %26s\n" b.Suite.name lb la
-        (if cval = infinity then "inf" else Printf.sprintf "%.1f" cval)
-        (on_machine Machine.t3e) (on_machine Machine.sp2))
+      if !json_mode then
+        List.iter
+          (fun (m : Machine.t) ->
+            let nb, na = on_machine m in
+            let opt = function Some n -> Obs.Json.Int n | None -> Obs.Json.Null in
+            json_row
+              Obs.Json.
+                [
+                  ("fig", String "fig8");
+                  ("bench", String b.Suite.name);
+                  ("machine", String m.Machine.name);
+                  ("arrays_baseline", Int lb);
+                  ("arrays_c2", Int la);
+                  ("c_value", Float cval);
+                  ("max_tile_baseline", opt nb);
+                  ("max_tile_c2", opt na);
+                ])
+          [ Machine.t3e; Machine.sp2 ]
+      else
+        row "%-9s %4d %4d %9s | %26s | %26s\n" b.Suite.name lb la
+          (if cval = infinity then "inf" else Printf.sprintf "%.1f" cval)
+          (show (on_machine Machine.t3e))
+          (show (on_machine Machine.sp2)))
     Suite.all;
-  Printf.printf
-    "\nlb/la = live arrays before/after contraction; C = 100*(lb-la)/la\n\
-     predicts the %% change in problem volume (paper Figure 8).\n"
+  if not !json_mode then
+    Printf.printf
+      "\nlb/la = live arrays before/after contraction; C = 100*(lb-la)/la\n\
+       predicts the %% change in problem volume (paper Figure 8).\n"
 
 (* ------------------------------------------------------------------ *)
 (* Figures 9-11: runtime improvement over baseline                     *)
 (* ------------------------------------------------------------------ *)
 
 let perf_figure (m : Machine.t) =
-  heading
-    (Printf.sprintf "Figure %s: %% improvement over baseline on the %s"
-       (match m.Machine.name with
-       | "Cray T3E" -> "9"
-       | "IBM SP-2" -> "10"
-       | _ -> "11")
-       m.Machine.name);
+  let fig =
+    match m.Machine.name with
+    | "Cray T3E" -> "fig9"
+    | "IBM SP-2" -> "fig10"
+    | _ -> "fig11"
+  in
+  if not !json_mode then
+    heading
+      (Printf.sprintf "Figure %s: %% improvement over baseline on the %s"
+         (String.sub fig 3 (String.length fig - 3))
+         m.Machine.name);
   List.iter
     (fun (b : Suite.bench) ->
-      subheading b.Suite.name;
+      if not !json_mode then subheading b.Suite.name;
       let prog = Suite.program b in
-      let compiled_of level = Compilers.Driver.compile ~level prog in
+      let compiled_of level = compile ~level prog in
       let base = compiled_of Compilers.Driver.Baseline in
       let base_comp = simulate m base in
       let level_data =
@@ -155,21 +221,35 @@ let perf_figure (m : Machine.t) =
             (level, c, comp))
           perf_levels
       in
-      row "%6s" "procs";
-      List.iter
-        (fun l -> row "%9s" (Compilers.Driver.level_name l))
-        perf_levels;
-      print_newline ();
+      if not !json_mode then begin
+        row "%6s" "procs";
+        List.iter
+          (fun l -> row "%9s" (Compilers.Driver.level_name l))
+          perf_levels;
+        print_newline ()
+      end;
       List.iter
         (fun procs ->
           let tb = measure_time m ~procs base_comp base in
-          row "%6d" procs;
+          if not !json_mode then row "%6d" procs;
           List.iter
-            (fun (_, c, comp) ->
+            (fun (level, c, comp) ->
               let t = measure_time m ~procs comp c in
-              row "%8.1f%%" (improvement_pct ~baseline:tb t))
+              let pct = improvement_pct ~baseline:tb t in
+              if !json_mode then
+                json_row
+                  Obs.Json.
+                    [
+                      ("fig", String fig);
+                      ("machine", String m.Machine.name);
+                      ("bench", String b.Suite.name);
+                      ("level", String (Compilers.Driver.level_name level));
+                      ("procs", Int procs);
+                      ("improvement_pct", Float pct);
+                    ]
+              else row "%8.1f%%" pct)
             level_data;
-          print_newline ())
+          if not !json_mode then print_newline ())
         procs_axis)
     Suite.all
 
@@ -191,11 +271,11 @@ let sec55 () =
     (fun (b : Suite.bench) ->
       let prog = Suite.program b in
       let ff =
-        Compilers.Driver.compile ~level:Compilers.Driver.C2F3 prog
+        compile ~level:Compilers.Driver.C2F3 prog
       in
       let veto = Comm.Interact.favor_comm_veto ~procs prog in
       let fc =
-        Compilers.Driver.compile ~may_fuse:veto ~level:Compilers.Driver.C2F3
+        compile ~may_fuse:veto ~level:Compilers.Driver.C2F3
           prog
       in
       row "%-9s" b.Suite.name;
@@ -218,9 +298,9 @@ let sec55 () =
 let ablate_reduction_fusion () =
   subheading "ablation: reduction fusion (EP, c2)";
   let prog = Suite.load "ep" in
-  let with_rf = Compilers.Driver.compile ~level:Compilers.Driver.C2 prog in
+  let with_rf = compile ~level:Compilers.Driver.C2 prog in
   let without =
-    Compilers.Driver.compile ~reduction_fusion:false
+    compile ~reduction_fusion:false
       ~level:Compilers.Driver.C2 prog
   in
   let m = Machine.t3e in
@@ -287,7 +367,7 @@ let ablate_partial_contraction () =
      \u{00a7}5.2 future work; sequential, 1 processor)";
   let m = Machine.t3e in
   let report name prog level =
-    let c = Compilers.Driver.compile ~level prog in
+    let c = compile ~level prog in
     let comp = simulate m c in
     let t = measure_time m ~procs:1 comp c in
     row "%-10s %-6s: %2d allocations, %9d bytes, %12.0f ns\n" name
@@ -350,7 +430,7 @@ let ablate_merge_vs_contraction () =
      \u{00a7}6) vs fusion + contraction";
   let m = Machine.t3e in
   let report tag prog level =
-    let c = Compilers.Driver.compile ~level prog in
+    let c = compile ~level prog in
     let comp = simulate m c in
     let t = measure_time m ~procs:1 comp c in
     row "  %-26s %2d arrays %9d flops %12.0f ns\n" tag
@@ -416,11 +496,11 @@ let ablate_backend_cannot_recover () =
     Exec.Interp.checksum r
   in
   let base =
-    (Compilers.Driver.compile ~level:Compilers.Driver.Baseline prog)
+    (compile ~level:Compilers.Driver.Baseline prog)
       .Compilers.Driver.code
   in
   let c2 =
-    (Compilers.Driver.compile ~level:Compilers.Driver.C2F3 prog)
+    (compile ~level:Compilers.Driver.C2F3 prog)
       .Compilers.Driver.code
   in
   let s1 = report "baseline" base in

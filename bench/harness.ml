@@ -53,9 +53,25 @@ let measure_time m ~procs comp compiled =
 
 let improvement_pct ~baseline t = 100.0 *. (baseline -. t) /. t
 
+(* Compile, or die with a rendered diagnostic — the figures all work
+   on programs that must compile, so an [Error] here is a harness bug,
+   not a recoverable condition. *)
+let compile ?may_fuse ?reduction_fusion ~level prog =
+  match Compilers.Driver.compile ?may_fuse ?reduction_fusion ~level prog with
+  | Ok c -> c
+  | Error d ->
+      Printf.eprintf "bench: %s\n" (Obs.Diagnostic.to_string d);
+      exit 1
+
 (* ------------------------------------------------------------------ *)
 (* Output helpers                                                      *)
 (* ------------------------------------------------------------------ *)
+
+(* With --json, the figures emit one JSON object per line on stdout
+   (machine-readable rows) instead of the formatted tables. *)
+let json_mode = ref false
+
+let json_row fields = print_endline (Obs.Json.to_string (Obs.Json.Obj fields))
 
 let heading title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')

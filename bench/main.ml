@@ -77,6 +77,16 @@ let () =
   let args =
     Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
   in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--json" then begin
+          Harness.json_mode := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) sections
   | names ->

@@ -4,43 +4,117 @@
    --bench), applies the requested optimization level, and can dump
    the array IR, the fusion/contraction plan, or the generated scalar
    code; run the program through the instrumented interpreter; and
-   report modeled performance on one of the paper's machines. *)
+   report modeled performance on one of the paper's machines.
+
+   All failures flow through [Obs.Diagnostic.t] and are rendered
+   uniformly by cmdliner; --trace streams the pass-span tree and
+   optimizer events as they happen, and --stats json:FILE dumps a
+   machine-readable compile report (see docs/observability.md). *)
 
 open Cmdliner
+module Diag = Obs.Diagnostic
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Result-based input handling                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Zap frontend exceptions → diagnostics carrying the input name and
+   line. *)
+let catching_zap ~input f =
+  match f () with
+  | v -> Ok v
+  | exception Zap.Elaborate.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"elaborate" m)
+  | exception Zap.Parser.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"parse" m)
+  | exception Zap.Lexer.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"lex" m)
+  | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
 
 let read_program bench file config tile =
   match (bench, file) with
   | Some name, None -> (
       match Suite.by_name name with
-      | Some b -> Suite.program ?tile ~config b
+      | Some b ->
+          catching_zap ~input:("--bench " ^ name) (fun () ->
+              Suite.program ?tile ~config b)
       | None ->
-          Printf.eprintf "unknown benchmark %S (have: %s)\n" name
-            (String.concat ", " (List.map (fun b -> b.Suite.name) Suite.all));
-          exit 2)
+          Error
+            (Diag.errorf ~phase:"cli" "unknown benchmark %S (have: %s)" name
+               (String.concat ", "
+                  (List.map (fun b -> b.Suite.name) Suite.all))))
   | None, Some path ->
       let config =
         match tile with Some t -> ("n", float_of_int t) :: config | None -> config
       in
-      Zap.Elaborate.compile_file ~config path
+      catching_zap ~input:path (fun () -> Zap.Elaborate.compile_file ~config path)
   | Some _, Some _ ->
-      prerr_endline "give either a file or --bench, not both";
-      exit 2
+      Error (Diag.error ~phase:"cli" "give either a file or --bench, not both")
   | None, None ->
-      prerr_endline "nothing to compile: give a file or --bench NAME";
-      exit 2
+      Error
+        (Diag.error ~phase:"cli" "nothing to compile: give a file or --bench NAME")
 
 let parse_config kvs =
-  List.map
-    (fun kv ->
+  List.fold_left
+    (fun acc kv ->
+      let* acc = acc in
       match String.index_opt kv '=' with
-      | Some i ->
+      | Some i -> (
           let k = String.sub kv 0 i in
           let v = String.sub kv (i + 1) (String.length kv - i - 1) in
-          (k, float_of_string v)
+          match float_of_string_opt v with
+          | Some f -> Ok ((k, f) :: acc)
+          | None ->
+              Error
+                (Diag.errorf ~phase:"cli"
+                   "bad --config %S (value %S is not a number)" kv v))
       | None ->
-          Printf.eprintf "bad --config %S (want name=value)\n" kv;
-          exit 2)
-    kvs
+          Error (Diag.errorf ~phase:"cli" "bad --config %S (want name=value)" kv))
+    (Ok []) kvs
+  |> Result.map List.rev
+
+let parse_level name =
+  match Compilers.Driver.level_of_name name with
+  | Some l -> Ok l
+  | None ->
+      Error
+        (Diag.errorf ~phase:"cli"
+           "unknown level %S (baseline, f1, c1, f2, f3, c2, c2+f3, c2+f4, \
+            c2+p; '+' may be omitted)"
+           name)
+
+let parse_machine name =
+  match String.lowercase_ascii name with
+  | "t3e" -> Ok Machine.t3e
+  | "sp2" | "sp-2" -> Ok Machine.sp2
+  | "paragon" -> Ok Machine.paragon
+  | other ->
+      Error (Diag.errorf ~phase:"cli" "unknown machine %S (t3e|sp2|paragon)" other)
+
+(* --stats SPEC: "json:FILE", "text:FILE", or the bare format name
+   (destination defaults to stdout, spelled "-"). *)
+let parse_stats = function
+  | None -> Ok None
+  | Some spec ->
+      let fmt, dest =
+        match String.index_opt spec ':' with
+        | Some i ->
+            ( String.sub spec 0 i,
+              String.sub spec (i + 1) (String.length spec - i - 1) )
+        | None -> (spec, "-")
+      in
+      if fmt = "json" || fmt = "text" then Ok (Some (fmt, dest))
+      else
+        Error
+          (Diag.errorf ~phase:"cli"
+             "bad --stats %S (want json:FILE or text:FILE, FILE '-' for stdout)"
+             spec)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
 
 let dump_plan (c : Compilers.Driver.compiled) =
   List.iteri
@@ -49,14 +123,8 @@ let dump_plan (c : Compilers.Driver.compiled) =
       Format.printf "%a@." Core.Partition.pp bp.Sir.Scalarize.partition;
       List.iter
         (fun (x, shape) ->
-          Format.printf "contract %s%s@." x
-            (match shape with
-            | Core.Contraction.Scalar -> " -> scalar"
-            | Core.Contraction.Keep_dims keep ->
-                Printf.sprintf " -> dims kept: %s"
-                  (String.concat ","
-                     (List.filteri (fun _ k -> k) (Array.to_list keep)
-                     |> List.mapi (fun i _ -> string_of_int (i + 1))))))
+          Format.printf "contract %s -> %s@." x
+            (Core.Contraction.shape_name shape))
         bp.Sir.Scalarize.contracted;
       List.iter
         (fun (ri, rep) ->
@@ -64,82 +132,157 @@ let dump_plan (c : Compilers.Driver.compiled) =
         bp.Sir.Scalarize.absorbed)
     c.Compilers.Driver.plan
 
-let main bench file level config tile merge simplify dump_ir dump_plan_f
-    dump_c emit_c run machine procs =
-  let config = parse_config config in
-  let prog = read_program bench file config tile in
-  let prog =
-    if merge then begin
-      let prog', gone = Core.Merge.run prog in
-      if gone <> [] then
-        Printf.printf "statement merge eliminated: %s\n"
-          (String.concat ", " gone);
-      prog'
-    end
-    else prog
-  in
-  let level =
-    match Compilers.Driver.level_of_name level with
-    | Some l -> l
-    | None ->
-        Printf.eprintf "unknown level %S\n" level;
-        exit 2
-  in
-  let c = Compilers.Driver.compile ~level prog in
-  let c =
-    if simplify then
-      { c with Compilers.Driver.code = Sir.Simplify.program c.Compilers.Driver.code }
-    else c
-  in
-  if dump_ir then Format.printf "%a@." Ir.Prog.pp prog;
-  if dump_plan_f then dump_plan c;
-  if dump_c then Format.printf "%a@." Sir.Code.pp_c c.Compilers.Driver.code;
-  (match emit_c with
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Sir.Emit_c.to_string c.Compilers.Driver.code);
-      close_out oc;
-      Printf.printf "wrote %s (compile with: cc -O2 %s -lm)\n" path path
-  | None -> ());
+let stats_json prog level (c : Compilers.Driver.compiled) report =
+  let open Obs.Json in
   let nc, nu = Compilers.Driver.contracted_counts c in
-  Printf.printf
-    "%s @ %s: %d statements-of-arrays, contracted %d (%d compiler / %d \
-     user), %d allocations remain, %d bytes\n"
-    prog.Ir.Prog.name
-    (Compilers.Driver.level_name level)
-    (List.length prog.Ir.Prog.arrays)
-    (nc + nu) nc nu
-    (Compilers.Driver.remaining_arrays c)
-    (Exec.Interp.footprint_bytes c.Compilers.Driver.code);
-  if run then begin
-    let m =
-      match String.lowercase_ascii machine with
-      | "t3e" -> Machine.t3e
-      | "sp2" | "sp-2" -> Machine.sp2
-      | "paragon" -> Machine.paragon
-      | other ->
-          Printf.eprintf "unknown machine %S (t3e|sp2|paragon)\n" other;
-          exit 2
-    in
-    let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
-    let r = Comm.Perf.measure cfg c in
-    Printf.printf
-      "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
-      \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
-      \  messages %d (%d bytes)  checksum %s\n"
-      m.Machine.name procs
-      (r.Comm.Perf.time_ns /. 1e6)
-      (r.Comm.Perf.comp_ns /. 1e6)
-      (r.Comm.Perf.comm_ns /. 1e6)
-      r.Comm.Perf.flops r.Comm.Perf.loads r.Comm.Perf.stores
-      (100.0 *. Cachesim.Cache.miss_rate r.Comm.Perf.l1)
-      (match r.Comm.Perf.l2 with
-      | Some l2 ->
-          Printf.sprintf "  L2 miss %.2f%%"
-            (100.0 *. Cachesim.Cache.miss_rate l2)
-      | None -> "")
-      r.Comm.Perf.messages r.Comm.Perf.msg_bytes r.Comm.Perf.checksum
+  let base =
+    [
+      ("schema", String "zapc/compile-report/1");
+      ("program", String prog.Ir.Prog.name);
+      ("level", String (Compilers.Driver.level_name level));
+      ( "arrays",
+        Obj
+          [
+            ("total", Int (List.length prog.Ir.Prog.arrays));
+            ("contracted_compiler", Int nc);
+            ("contracted_user", Int nu);
+            ("remaining", Int (Compilers.Driver.remaining_arrays c));
+          ] );
+      ( "contracted",
+        List
+          (List.map
+             (fun (x, shape) ->
+               Obj
+                 [
+                   ("array", String x);
+                   ("shape", String (Core.Contraction.shape_name shape));
+                 ])
+             c.Compilers.Driver.contracted) );
+      ("footprint_bytes", Int (Exec.Interp.footprint_bytes c.Compilers.Driver.code));
+    ]
+  in
+  match Obs.report_to_json report with
+  | Obj fields -> Obj (base @ fields)
+  | other -> Obj (base @ [ ("report", other) ])
+
+let write_stats (fmt, dest) prog level c report =
+  let text =
+    match fmt with
+    | "json" -> Obs.Json.to_string (stats_json prog level c report) ^ "\n"
+    | _ -> Format.asprintf "%a" Obs.pp_report report
+  in
+  if dest = "-" then begin
+    print_string text;
+    Ok ()
   end
+  else
+    match open_out dest with
+    | oc ->
+        output_string oc text;
+        close_out oc;
+        Ok ()
+    | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
+
+let run_report machine procs (c : Compilers.Driver.compiled) =
+  let* m = parse_machine machine in
+  let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
+  let r = Comm.Perf.measure cfg c in
+  Printf.printf
+    "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
+    \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
+    \  messages %d (%d bytes)  checksum %s\n"
+    m.Machine.name procs
+    (r.Comm.Perf.time_ns /. 1e6)
+    (r.Comm.Perf.comp_ns /. 1e6)
+    (r.Comm.Perf.comm_ns /. 1e6)
+    r.Comm.Perf.flops r.Comm.Perf.loads r.Comm.Perf.stores
+    (100.0 *. Cachesim.Cache.miss_rate r.Comm.Perf.l1)
+    (match r.Comm.Perf.l2 with
+    | Some l2 ->
+        Printf.sprintf "  L2 miss %.2f%%"
+          (100.0 *. Cachesim.Cache.miss_rate l2)
+    | None -> "")
+    r.Comm.Perf.messages r.Comm.Perf.msg_bytes r.Comm.Perf.checksum;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let main bench file level config tile merge simplify dump_ir dump_plan_f
+    dump_c emit_c run machine procs trace stats =
+  let result =
+    let* stats = parse_stats stats in
+    let recorder =
+      if trace || stats <> None then
+        let sink =
+          if trace then Some (Obs.text_sink Format.err_formatter) else None
+        in
+        Some (Obs.create ?sink ())
+      else None
+    in
+    let in_scope f =
+      match recorder with Some r -> Obs.run r f | None -> f ()
+    in
+    in_scope @@ fun () ->
+    (* stdout carries exactly the JSON report when it is the stats
+       destination: keep the human summary out of the stream *)
+    let quiet = stats = Some ("json", "-") in
+    let* config = parse_config config in
+    let* prog = read_program bench file config tile in
+    let prog =
+      if merge then begin
+        let prog', gone = Core.Merge.run prog in
+        if gone <> [] && not quiet then
+          Printf.printf "statement merge eliminated: %s\n"
+            (String.concat ", " gone);
+        prog'
+      end
+      else prog
+    in
+    let* level = parse_level level in
+    let* c = Compilers.Driver.compile ~level prog in
+    let c =
+      if simplify then
+        Obs.span "simplify" (fun () ->
+            { c with Compilers.Driver.code = Sir.Simplify.program c.Compilers.Driver.code })
+      else c
+    in
+    if dump_ir then Format.printf "%a@." Ir.Prog.pp prog;
+    if dump_plan_f then dump_plan c;
+    if dump_c then Format.printf "%a@." Sir.Code.pp_c c.Compilers.Driver.code;
+    let* () =
+      match emit_c with
+      | Some path -> (
+          match open_out path with
+          | oc ->
+              output_string oc (Sir.Emit_c.to_string c.Compilers.Driver.code);
+              close_out oc;
+              if not quiet then
+                Printf.printf "wrote %s (compile with: cc -O2 %s -lm)\n" path
+                  path;
+              Ok ()
+          | exception Sys_error m -> Error (Diag.error ~phase:"cli" m))
+      | None -> Ok ()
+    in
+    if not quiet then begin
+      let nc, nu = Compilers.Driver.contracted_counts c in
+      Printf.printf
+        "%s @ %s: %d statements-of-arrays, contracted %d (%d compiler / %d \
+         user), %d allocations remain, %d bytes\n"
+        prog.Ir.Prog.name
+        (Compilers.Driver.level_name level)
+        (List.length prog.Ir.Prog.arrays)
+        (nc + nu) nc nu
+        (Compilers.Driver.remaining_arrays c)
+        (Exec.Interp.footprint_bytes c.Compilers.Driver.code)
+    end;
+    let* () = if run then run_report machine procs c else Ok () in
+    match (recorder, stats) with
+    | Some r, Some spec -> write_stats spec prog level c (Obs.report r)
+    | _ -> Ok ()
+  in
+  Result.map_error (fun d -> `Msg (Diag.to_string d)) result
 
 let bench_arg =
   Arg.(
@@ -156,7 +299,7 @@ let level_arg =
     & info [ "level"; "O" ] ~docv:"LEVEL"
         ~doc:
           "Optimization level: baseline, f1, c1, f2, f3, c2, c2+f3, \
-           c2+f4, or c2+p.")
+           c2+f4, or c2+p (the '+' may be omitted: c2f3).")
 
 let config_arg =
   Arg.(
@@ -219,6 +362,26 @@ let machine_arg =
 let procs_arg =
   Arg.(value & opt int 1 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Stream the pass-span tree (with wall-clock timings) and \
+           optimizer events to stderr as compilation proceeds.")
+
+let stats_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats" ] ~docv:"FMT:FILE"
+        ~doc:
+          "Write a compile report: $(b,json:FILE) for the machine-readable \
+           schema (per-pass timings, fusion/contraction counters with \
+           rejected-merge reasons), $(b,text:FILE) for a human-readable \
+           summary.  FILE $(b,-) writes to stdout (and, for json, \
+           suppresses the usual summary line).")
+
 let cmd =
   let doc =
     "array-level fusion and contraction compiler (PLDI'98 reproduction)"
@@ -226,8 +389,10 @@ let cmd =
   Cmd.v
     (Cmd.info "zapc" ~version:"1.0" ~doc)
     Term.(
-      const main $ bench_arg $ file_arg $ level_arg $ config_arg $ tile_arg
-      $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg $ dump_c_arg
-      $ emit_c_arg $ run_arg $ machine_arg $ procs_arg)
+      term_result ~usage:false
+        (const main $ bench_arg $ file_arg $ level_arg $ config_arg
+       $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
+       $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
+       $ trace_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

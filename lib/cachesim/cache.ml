@@ -106,6 +106,17 @@ module Hierarchy = struct
   let l1_stats h = stats h.l1
   let l2_stats h = Option.map stats h.l2
 
+  let observe ?(prefix = "cache") h =
+    if Obs.enabled () then begin
+      let level name (s : stats) =
+        Obs.count (Printf.sprintf "%s.%s.accesses" prefix name) s.accesses;
+        Obs.count (Printf.sprintf "%s.%s.hits" prefix name) s.hits;
+        Obs.count (Printf.sprintf "%s.%s.misses" prefix name) s.misses
+      in
+      level "l1" (l1_stats h);
+      Option.iter (level "l2") (l2_stats h)
+    end
+
   let reset h =
     reset h.l1;
     Option.iter reset h.l2

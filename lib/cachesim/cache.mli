@@ -48,4 +48,11 @@ module Hierarchy : sig
   val l1_stats : h -> stats
   val l2_stats : h -> stats option
   val reset : h -> unit
+
+  val observe : ?prefix:string -> h -> unit
+  (** Push the hierarchy's hit/miss totals into the installed [Obs]
+      recorder as ["<prefix>.l1.hits"]-style counters (default prefix
+      ["cache"]); a no-op when observability is disabled.  The hot
+      {!access} path itself is never instrumented — callers snapshot
+      once per simulation. *)
 end

@@ -208,6 +208,7 @@ let messages_of_events ~opts sched events =
 
 let analyze ~(machine : Machine.t) ~procs ~opts
     (c : Compilers.Driver.compiled) =
+  Obs.span "comm-model" @@ fun () ->
   if procs <= 1 then
     { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 }
   else begin
@@ -255,11 +256,19 @@ let analyze ~(machine : Machine.t) ~procs ~opts
           let dist = Dist.make ~rank ~procs in
           let sched = block_schedule ~machine ~dist bp in
           let events = block_events sched in
+          let inferred = List.length events in
           let events =
             if opts.redundancy then eliminate_redundant sched events
             else events
           in
+          let obs = Obs.enabled () in
+          if obs then
+            Obs.count "comm.redundancy.exchanges-eliminated"
+              (mult * (inferred - List.length events));
           let msgs = messages_of_events ~opts sched events in
+          if obs then
+            Obs.count "comm.combining.messages-saved"
+              (mult * (List.length events - List.length msgs));
           List.iter
             (fun m ->
               let raw = alpha +. (beta *. float_of_int m.mbytes) in
@@ -267,6 +276,9 @@ let analyze ~(machine : Machine.t) ~procs ~opts
                 if opts.pipelining then max (0.25 *. alpha) (raw -. m.window)
                 else raw
               in
+              if obs then
+                Obs.total "comm.pipelining.ns-hidden"
+                  (float_of_int mult *. (raw -. eff));
               total :=
                 {
                   !total with
@@ -285,11 +297,21 @@ let analyze ~(machine : Machine.t) ~procs ~opts
     in
     let red_one = float_of_int stages *. (alpha +. (8.0 *. beta)) in
     let red_total = float_of_int !reductions *. red_one in
-    {
-      !total with
-      messages = !total.messages + (!reductions * stages);
-      raw_ns = !total.raw_ns +. red_total;
-      effective_ns = !total.effective_ns +. red_total;
-      reduction_ns = red_total;
-    }
+    let summary =
+      {
+        !total with
+        messages = !total.messages + (!reductions * stages);
+        raw_ns = !total.raw_ns +. red_total;
+        effective_ns = !total.effective_ns +. red_total;
+        reduction_ns = red_total;
+      }
+    in
+    if Obs.enabled () then begin
+      Obs.count "comm.messages" summary.messages;
+      Obs.count "comm.bytes" summary.bytes;
+      Obs.total "comm.raw-ns" summary.raw_ns;
+      Obs.total "comm.effective-ns" summary.effective_ns;
+      Obs.total "comm.reduction-ns" summary.reduction_ns
+    end;
+    summary
   end

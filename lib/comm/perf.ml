@@ -30,6 +30,7 @@ let measure cfg (c : Compilers.Driver.compiled) =
   let code = c.Compilers.Driver.code in
   let result = Exec.Interp.run ~trace code in
   let cnt = Exec.Interp.counters result in
+  Cachesim.Cache.Hierarchy.observe hier;
   let l1 = Cachesim.Cache.Hierarchy.l1_stats hier in
   let l2 = Cachesim.Cache.Hierarchy.l2_stats hier in
   let comm = Model.analyze ~machine:m ~procs:cfg.procs ~opts:cfg.comm c in

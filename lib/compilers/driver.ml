@@ -15,8 +15,19 @@ let level_name = function
   | C2F4 -> "c2+f4"
   | C2P -> "c2+p"
 
+(* Both the paper spellings ("c2+f3") and the internal ones ("c2f3")
+   are accepted, case-insensitively: names compare with '+' removed. *)
+let canonical_name s =
+  String.lowercase_ascii s
+  |> String.to_seq
+  |> Seq.filter (fun c -> c <> '+')
+  |> String.of_seq
+
 let level_of_name s =
-  List.find_opt (fun l -> level_name l = s) (all_levels @ [ C2P ])
+  let want = canonical_name s in
+  List.find_opt
+    (fun l -> canonical_name (level_name l) = want)
+    (all_levels @ [ C2P ])
 
 type compiled = {
   level : level;
@@ -196,18 +207,36 @@ let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
   let reduction_fusion =
     reduction_fusion && match level with Baseline | F1 | C1 -> false | _ -> true
   in
-  let g = Core.Asdg.build stmts in
+  let g = Obs.span "dependence" (fun () -> Core.Asdg.build stmts) in
   let compiler_cands, user_cands = block_candidates ctx block_idx in
   let all_cands = compiler_cands @ user_cands in
-  let fuse_c cands = Core.Fusion.for_contraction ~may_fuse ~candidates:cands g in
-  let finish ?(absorb = reduction_fusion) p cands =
+  let fuse_c cands =
+    Obs.span "fusion" (fun () ->
+        Core.Fusion.for_contraction ~may_fuse ~candidates:cands g)
+  in
+  let locality ?relax_flow p =
+    Obs.span "fusion-locality" (fun () ->
+        Core.Fusion.for_locality ?relax_flow ~may_fuse p)
+  in
+  let decide_absorbed p =
     let absorbed =
-      if absorb then decide_absorption ctx block_idx p else []
+      Obs.span "reduction-fusion" (fun () -> decide_absorption ctx block_idx p)
     in
+    if Obs.enabled () then
+      List.iter
+        (fun (ri, rep) ->
+          Obs.event (Obs.Reduction_absorbed { reduce = ri; cluster = rep }))
+        absorbed;
+    absorbed
+  in
+  let finish ?(absorb = reduction_fusion) p cands =
+    let absorbed = if absorb then decide_absorbed p else [] in
     let cands = filter_reduce_read_candidates ctx p absorbed cands in
     {
       Sir.Scalarize.partition = p;
-      contracted = scalar_shapes (Core.Contraction.decide p ~candidates:cands);
+      contracted =
+        Obs.span "contraction" (fun () ->
+            scalar_shapes (Core.Contraction.decide p ~candidates:cands));
       absorbed;
     }
   in
@@ -226,57 +255,67 @@ let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
       (* fusion as for full contraction, but only compiler arrays are
          actually contracted *)
       finish (fuse_c all_cands) compiler_cands
-  | F3 ->
-      finish (Core.Fusion.for_locality ~may_fuse (fuse_c compiler_cands)) compiler_cands
+  | F3 -> finish (locality (fuse_c compiler_cands)) compiler_cands
   | C2 -> finish (fuse_c all_cands) all_cands
-  | C2F3 ->
-      finish (Core.Fusion.for_locality ~may_fuse (fuse_c all_cands)) all_cands
+  | C2F3 -> finish (locality (fuse_c all_cands)) all_cands
   | C2F4 ->
+      let p0 = locality (fuse_c all_cands) in
       finish
-        (Core.Fusion.greedy_pairwise ~may_fuse
-           (Core.Fusion.for_locality ~may_fuse (fuse_c all_cands)))
+        (Obs.span "fusion-pairwise" (fun () ->
+             Core.Fusion.greedy_pairwise ~may_fuse p0))
         all_cands
   | C2P ->
       (* extension: sequential fusion tolerating loop-carried flow, then
          contraction to the lowest sufficient rank *)
-      let p =
-        Core.Fusion.for_locality ~relax_flow:true ~may_fuse (fuse_c all_cands)
-      in
-      let absorbed =
-        if reduction_fusion then decide_absorption ctx block_idx p else []
-      in
+      let p = locality ~relax_flow:true (fuse_c all_cands) in
+      let absorbed = if reduction_fusion then decide_absorbed p else [] in
       let cands = filter_reduce_read_candidates ctx p absorbed all_cands in
       {
         Sir.Scalarize.partition = p;
-        contracted = Core.Contraction.decide_partial p ~candidates:cands;
+        contracted =
+          Obs.span "contraction" (fun () ->
+              Core.Contraction.decide_partial p ~candidates:cands);
         absorbed;
       }
 
 let compile ?may_fuse ?reduction_fusion ~level prog =
-  (match Prog.validate prog with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Driver.compile: invalid program: " ^ e));
-  let ctx = make_ctx prog in
-  let blocks = Prog.blocks prog in
-  let plan =
-    List.mapi
-      (fun bi stmts ->
-        let mf =
-          match may_fuse with
-          | None -> fun _ -> true
-          | Some f -> fun ss -> f ~block:bi ss
-        in
-        plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
-      blocks
-  in
-  let code = Sir.Scalarize.scalarize prog plan in
-  {
-    level;
-    prog;
-    plan;
-    code;
-    contracted = Sir.Scalarize.contracted_of_plan plan;
-  }
+  Obs.span "compile" @@ fun () ->
+  match Obs.span "check" (fun () -> Prog.validate prog) with
+  | Error e ->
+      Error
+        (Obs.Diagnostic.errorf ~phase:"check" "invalid program %s: %s"
+           prog.Prog.name e)
+  | Ok () ->
+      let ctx = make_ctx prog in
+      let blocks = Prog.blocks prog in
+      let plan =
+        Obs.span "plan" (fun () ->
+            List.mapi
+              (fun bi stmts ->
+                let mf =
+                  match may_fuse with
+                  | None -> fun _ -> true
+                  | Some f -> fun ss -> f ~block:bi ss
+                in
+                plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
+              blocks)
+      in
+      let code =
+        Obs.span "scalarize" (fun () -> Sir.Scalarize.scalarize prog plan)
+      in
+      Ok
+        {
+          level;
+          prog;
+          plan;
+          code;
+          contracted = Sir.Scalarize.contracted_of_plan plan;
+        }
+
+let compile_exn ?may_fuse ?reduction_fusion ~level prog =
+  match compile ?may_fuse ?reduction_fusion ~level prog with
+  | Ok c -> c
+  | Error d -> raise (Obs.Error d)
 
 let contracted_counts (c : compiled) =
   List.fold_left

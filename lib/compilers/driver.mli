@@ -28,6 +28,9 @@ val level_name : level -> string
 (** The paper's name: ["baseline"], ["f1"], ..., ["c2+f4"], ["c2+p"]. *)
 
 val level_of_name : string -> level option
+(** Accepts both the paper spellings (["c2+f3"], ["c2+f4"], ["c2+p"])
+    and the internal ones (["c2f3"], ...), case-insensitively:
+    [level_of_name (level_name l) = Some l] for every level. *)
 
 type compiled = {
   level : level;
@@ -43,12 +46,27 @@ val compile :
   ?reduction_fusion:bool ->
   level:level ->
   Ir.Prog.t ->
-  compiled
+  (compiled, Obs.Diagnostic.t) result
 (** Optimize and scalarize.  [may_fuse] vetoes merges per basic block
     (used for communication integration, §5.5); [reduction_fusion]
     (default true) may be disabled as an ablation — without it, arrays
-    consumed by reductions can never contract.  Raises
-    [Invalid_argument] if the program fails [Ir.Prog.validate]. *)
+    consumed by reductions can never contract.
+
+    Returns [Error d] (phase ["check"]) if the program fails
+    [Ir.Prog.validate]; never raises on user input.  When an [Obs]
+    recorder is installed the compilation is traced: pass spans
+    ([check], [plan] with per-block [dependence] / [fusion] /
+    [reduction-fusion] / [contraction], [scalarize]) plus the fusion
+    and contraction counters and events. *)
+
+val compile_exn :
+  ?may_fuse:(block:int -> int list -> bool) ->
+  ?reduction_fusion:bool ->
+  level:level ->
+  Ir.Prog.t ->
+  compiled
+(** Thin raising wrapper over {!compile} for callers that have already
+    validated their input.  Raises [Obs.Error] with the diagnostic. *)
 
 val contracted_counts : compiled -> int * int
 (** [(compiler, user)] arrays eliminated (Figure 7's categories). *)

@@ -18,6 +18,7 @@ let build stmt_list =
           edge_list := (i, j) :: !edge_list
     done
   done;
+  if Obs.enabled () then Obs.count "dep.edges" (List.length !edge_list);
   { stmts; edge_tbl; edge_list = List.sort compare !edge_list }
 
 let n t = Array.length t.stmts

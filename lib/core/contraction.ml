@@ -11,14 +11,37 @@ let single_cluster p x =
   | [ rep ] -> Some rep
   | _ -> None
 
+let shape_name = function
+  | Scalar -> "scalar"
+  | Keep_dims keep ->
+      let kept = ref [] in
+      Array.iteri (fun i k -> if k then kept := (i + 1) :: !kept) keep;
+      "keep-dims:"
+      ^ String.concat "," (List.rev_map string_of_int !kept)
+
+let observe_candidates candidates =
+  if Obs.enabled () then
+    List.iter
+      (fun x -> Obs.event (Obs.Contraction_candidate { array = x }))
+      candidates
+
+let observe_performed x shape =
+  if Obs.enabled () then
+    Obs.event (Obs.Contraction_perform { array = x; shape = shape_name shape })
+
 let decide p ~candidates =
+  observe_candidates candidates;
   List.filter
     (fun x ->
-      Partition.first_ref_is_write p x
-      &&
-      match single_cluster p x with
-      | Some rep -> Partition.contractible p x ~within:[ rep ]
-      | None -> false)
+      let ok =
+        Partition.first_ref_is_write p x
+        &&
+        match single_cluster p x with
+        | Some rep -> Partition.contractible p x ~within:[ rep ]
+        | None -> false
+      in
+      if ok then observe_performed x Scalar;
+      ok)
     candidates
 
 let ref_offsets p x =
@@ -29,6 +52,7 @@ let ref_offsets p x =
          Ir.Nstmt.reads_of s x @ Ir.Nstmt.writes_of s x)
 
 let decide_partial p ~candidates =
+  observe_candidates candidates;
   List.filter_map
     (fun x ->
       if not (Partition.first_ref_is_write p x) then None
@@ -67,11 +91,17 @@ let decide_partial p ~candidates =
                       done
                     end)
                   (Asdg.deps_on (Partition.asdg p) x);
-                if Array.for_all not keep then Some (x, Scalar)
+                if Array.for_all not keep then begin
+                  observe_performed x Scalar;
+                  Some (x, Scalar)
+                end
                 else if Array.for_all (fun k -> k) keep then
                   (* nothing would be saved: not a contraction *)
                   None
-                else Some (x, Keep_dims keep)))
+                else begin
+                  observe_performed x (Keep_dims keep);
+                  Some (x, Keep_dims keep)
+                end))
     candidates
 
 let shape_volume bounds = function

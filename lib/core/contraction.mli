@@ -36,3 +36,8 @@ val decide_partial :
 val shape_volume : Ir.Region.t -> shape -> int
 (** Number of elements the contracted allocation still needs (1 for
     [Scalar]). *)
+
+val shape_name : shape -> string
+(** ["scalar"], or ["keep-dims:1,3"]-style for partial contraction —
+    the stable spelling used in observability events and JSON
+    reports. *)

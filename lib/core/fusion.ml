@@ -2,6 +2,12 @@ let always _ = true
 
 let stmts_of p reps = List.concat_map (fun r -> Partition.members p r) reps
 
+let reason_of_veto : Partition.veto -> Obs.fusion_reason = function
+  | Partition.Region_mismatch -> Obs.Region_mismatch
+  | Partition.Nonnull_flow -> Obs.Nonnull_flow
+  | Partition.No_loop_structure -> Obs.No_loop_structure
+  | Partition.Cycle -> Obs.Cycle
+
 (* One Figure-3 attempt: collect the clusters referencing [x], close
    them under GROW, and merge when legal.  [want_contract] switches
    between FUSION-FOR-CONTRACTION and fusion-for-locality. *)
@@ -17,15 +23,26 @@ let attempt ?relax_flow ~may_fuse ~want_contract p x =
       p
   | _ ->
       let c = List.sort_uniq compare (c @ Partition.grow p c) in
-      let ok_contract =
-        (not want_contract) || Partition.contractible p x ~within:c
+      let obs = Obs.enabled () in
+      if obs then
+        Obs.event (Obs.Fusion_attempt { array = Some x; clusters = List.length c });
+      let reject reason =
+        if obs then Obs.event (Obs.Fusion_reject { array = Some x; reason });
+        p
       in
-      if
-        ok_contract
-        && Partition.can_merge ?relax_flow p c
-        && may_fuse (stmts_of p c)
-      then Partition.merge p c
-      else p
+      if want_contract && not (Partition.contractible p x ~within:c) then
+        reject Obs.Not_contractible
+      else
+        match Partition.check_merge ?relax_flow p c with
+        | Error v -> reject (reason_of_veto v)
+        | Ok () ->
+            if may_fuse (stmts_of p c) then begin
+              if obs then
+                Obs.event
+                  (Obs.Fusion_accept { array = Some x; clusters = List.length c });
+              Partition.merge p c
+            end
+            else reject Obs.External_veto
 
 let for_contraction ?start ?relax_flow ?(may_fuse = always)
     ?(order = `Weight) ~candidates g =
@@ -48,21 +65,35 @@ let for_locality ?relax_flow ?(may_fuse = always) p =
   List.fold_left (attempt ?relax_flow ~may_fuse ~want_contract:false) p order
 
 let greedy_pairwise ?relax_flow ?(may_fuse = always) p =
+  (* pair rejections bump the reason counters but are not stored as
+     events: a fixpoint of pairwise scans would swamp the event log *)
+  let obs = Obs.enabled () in
+  let try_pair p r1 r2 =
+    if obs then Obs.count "fusion.attempted" 1;
+    match Partition.check_merge ?relax_flow p [ r1; r2 ] with
+    | Error v ->
+        if obs then
+          Obs.count
+            ("fusion.rejected." ^ Obs.fusion_reason_name (reason_of_veto v))
+            1;
+        None
+    | Ok () ->
+        if may_fuse (stmts_of p [ r1; r2 ]) then begin
+          if obs then
+            Obs.event (Obs.Fusion_accept { array = None; clusters = 2 });
+          Some (Partition.merge p [ r1; r2 ])
+        end
+        else begin
+          if obs then Obs.count "fusion.rejected.external-veto" 1;
+          None
+        end
+  in
   let rec pass p =
     let reps = List.map List.hd (Partition.clusters p) in
     let rec try_pairs = function
       | [] -> None
       | r1 :: rest -> (
-          let merged =
-            List.find_map
-              (fun r2 ->
-                if
-                  Partition.can_merge ?relax_flow p [ r1; r2 ]
-                  && may_fuse (stmts_of p [ r1; r2 ])
-                then Some (Partition.merge p [ r1; r2 ])
-                else None)
-              rest
-          in
+          let merged = List.find_map (fun r2 -> try_pair p r1 r2) rest in
           match merged with Some p' -> Some p' | None -> try_pairs rest)
     in
     match try_pairs reps with Some p' -> pass p' | None -> p

@@ -30,6 +30,7 @@ let preserves p udvs =
 let find ~rank udvs =
   let bad = List.exists (fun u -> Support.Vec.rank u <> rank) udvs in
   if bad then invalid_arg "Loopstruct.find: UDV of wrong rank";
+  if Obs.enabled () then Obs.count "loopstruct.calls" 1;
   let b = Array.make rank true in
   let p = Array.make rank 0 in
   let c = ref udvs in

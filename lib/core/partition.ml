@@ -96,12 +96,19 @@ let acyclic t =
   let _, _, edges = cluster_graph t in
   not (Support.Toposort.has_cycle ~n:(n_clusters t) ~edges)
 
-(* Conditions (i), (ii) and (iv) of Definition 5 on one statement set.
-   [relax_flow] drops condition (ii) — the parallelism condition — to
-   model sequential (scalar-compiler-style) fusion; legality is still
-   guaranteed by condition (iv), since FIND-LOOP-STRUCTURE preserves
-   flow dependences like any others. *)
-let valid_stmt_set ?(relax_flow = false) t ss =
+type veto =
+  | Region_mismatch
+  | Nonnull_flow
+  | No_loop_structure
+  | Cycle
+
+(* Conditions (i), (ii) and (iv) of Definition 5 on one statement set,
+   reporting the first violated condition.  [relax_flow] drops
+   condition (ii) — the parallelism condition — to model sequential
+   (scalar-compiler-style) fusion; legality is still guaranteed by
+   condition (iv), since FIND-LOOP-STRUCTURE preserves flow dependences
+   like any others. *)
+let check_stmt_set ?(relax_flow = false) t ss =
   let g = t.asdg in
   let regions = List.map (fun i -> (Asdg.stmt g i).Ir.Nstmt.region) ss in
   let same_region =
@@ -109,20 +116,30 @@ let valid_stmt_set ?(relax_flow = false) t ss =
     | [] -> true
     | r0 :: rest -> List.for_all (Ir.Region.equal r0) rest
   in
-  same_region
-  && (relax_flow
-     || List.for_all Support.Vec.is_null (flow_udvs_within t ss))
-  &&
-  match ss with
-  | [] -> true
-  | s :: _ ->
-      let rank = Ir.Region.rank (Asdg.stmt g s).Ir.Nstmt.region in
-      Loopstruct.find ~rank (udvs_within t ss) <> None
+  if not same_region then Error Region_mismatch
+  else if
+    (not relax_flow)
+    && not (List.for_all Support.Vec.is_null (flow_udvs_within t ss))
+  then Error Nonnull_flow
+  else
+    match ss with
+    | [] -> Ok ()
+    | s :: _ ->
+        let rank = Ir.Region.rank (Asdg.stmt g s).Ir.Nstmt.region in
+        if Loopstruct.find ~rank (udvs_within t ss) <> None then Ok ()
+        else Error No_loop_structure
 
-let can_merge ?relax_flow t c =
+let valid_stmt_set ?relax_flow t ss = check_stmt_set ?relax_flow t ss = Ok ()
+
+let check_merge ?relax_flow t c =
   match c with
-  | [] | [ _ ] -> true
-  | _ -> valid_stmt_set ?relax_flow t (stmts_of t c) && acyclic (merge t c)
+  | [] | [ _ ] -> Ok ()
+  | _ -> (
+      match check_stmt_set ?relax_flow t (stmts_of t c) with
+      | Error _ as e -> e
+      | Ok () -> if acyclic (merge t c) then Ok () else Error Cycle)
+
+let can_merge ?relax_flow t c = check_merge ?relax_flow t c = Ok ()
 
 let contractible t x ~within =
   let cluster_set = List.sort_uniq compare within in

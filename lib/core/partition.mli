@@ -48,11 +48,18 @@ val grow : t -> int list -> int list
     clusters that would end up on an inter-cluster cycle if [c] were
     fused.  O(e). *)
 
-val can_merge : ?relax_flow:bool -> t -> int list -> bool
-(** FUSION-PARTITION?: would merging the given clusters (by
-    representative) leave a valid fusion partition?  Checks all four
-    conditions of Definition 5 (including acyclicity, so it is safe to
-    call without {!grow} — e.g. by the greedy pairwise fuser).
+type veto =
+  | Region_mismatch  (** condition (i): statements iterate different regions *)
+  | Nonnull_flow  (** condition (ii): a loop-carried flow dependence would be internalized *)
+  | No_loop_structure  (** condition (iv): FIND-LOOP-STRUCTURE returned NOSOLUTION *)
+  | Cycle  (** condition (iii): the merged cluster graph would be cyclic *)
+
+val check_merge : ?relax_flow:bool -> t -> int list -> (unit, veto) result
+(** FUSION-PARTITION? with an explanation: would merging the given
+    clusters (by representative) leave a valid fusion partition?
+    Checks all four conditions of Definition 5 (including acyclicity,
+    so it is safe to call without {!grow} — e.g. by the greedy pairwise
+    fuser) and reports the first violated one.
 
     [relax_flow:true] drops condition (ii) — non-null intra-cluster
     flow UDVs are tolerated provided a legal loop structure still
@@ -60,6 +67,9 @@ val can_merge : ?relax_flow:bool -> t -> int list -> bool
     compiler would perform it, sacrificing the parallelism guarantee;
     it enables the partial-contraction extension (see
     {!Contraction.decide_partial}). *)
+
+val can_merge : ?relax_flow:bool -> t -> int list -> bool
+(** [check_merge] as a predicate. *)
 
 val contractible : t -> string -> within:int list -> bool
 (** CONTRACTIBLE? (Definition 6): all dependences due to the variable

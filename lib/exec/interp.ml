@@ -161,7 +161,14 @@ let run ?trace (p : Code.program) =
     p.allocs;
   List.iter (fun (s, v) -> Hashtbl.replace res.scalars s v) p.scalars;
   let st = { res; trace } in
-  List.iter (exec st) p.body;
+  Obs.span "interpret" (fun () -> List.iter (exec st) p.body);
+  if Obs.enabled () then begin
+    Obs.count "interp.loads" res.cnt.loads;
+    Obs.count "interp.stores" res.cnt.stores;
+    Obs.count "interp.element-refs" (res.cnt.loads + res.cnt.stores);
+    Obs.count "interp.flops" res.cnt.flops;
+    Obs.count "interp.iters" res.cnt.iters
+  end;
   res
 
 let counters r = r.cnt

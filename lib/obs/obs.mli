@@ -1,0 +1,190 @@
+(** Structured observability for the compilation pipeline.
+
+    The paper's argument rests on {e explaining} optimizer decisions —
+    which statements fused, which arrays contracted and why, where the
+    cache misses and messages went.  This library is the shared
+    substrate: hierarchical {e pass spans} with wall-clock timings,
+    typed {e counters} and {e events} recording every fusion attempt
+    (with the Definition 5/6 reason that vetoed a rejected merge),
+    contraction decisions, dependence-edge counts, interpreter and
+    cache totals, and per-optimization communication savings.
+
+    Instrumentation points ({!span}, {!count}, {!event}) are dynamically
+    scoped: they report to the recorder installed by the innermost
+    {!run}, and compile to a single [ref] read when none is installed —
+    the null-sink configuration adds no measurable overhead.
+
+    The library also hosts the two cross-layer value types of the
+    driver/CLI API: {!Json} (report serialization, no external
+    dependencies) and {!Diagnostic} (the error type of the result-based
+    [Driver.compile] and of the [zapc] command line). *)
+
+(** Minimal JSON values: enough to serialize compile reports and bench
+    rows, and to parse them back in tests. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact one-line rendering (valid JSON; floats keep full
+      round-trip precision). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Indented multi-line rendering. *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for the subset this module prints (numbers,
+      strings with the common escapes, arrays, objects). *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] elsewhere. *)
+
+  val find : t -> string list -> t option
+  (** Nested field lookup along a path. *)
+end
+
+(** Uniform compiler diagnostics: the error type of the result-based
+    driver API and of all [zapc] command-line failures. *)
+module Diagnostic : sig
+  type severity = Error | Warning
+
+  type t = {
+    severity : severity;
+    phase : string;  (** pipeline stage or CLI area: "parse", "check", "cli", ... *)
+    loc : (string * int) option;  (** (file-or-input-name, 1-based line) *)
+    message : string;
+  }
+
+  val error : ?loc:string * int -> phase:string -> string -> t
+  val warning : ?loc:string * int -> phase:string -> string -> t
+
+  val errorf :
+    ?loc:string * int ->
+    phase:string ->
+    ('a, unit, string, t) format4 ->
+    'a
+
+  val to_string : t -> string
+  (** ["zapc: check error: invalid program ..."]-style one-liner, with
+      the location prefixed when present. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_json : t -> Json.t
+end
+
+exception Error of Diagnostic.t
+(** Raised by the [_exn] convenience wrappers of result-based APIs. *)
+
+(** {1 Events and counters} *)
+
+(** Why a fusion merge attempt was rejected: the Definition 5 legality
+    conditions, the Definition 6 contractibility precondition of
+    FUSION-FOR-CONTRACTION, or an external veto ([may_fuse], the
+    communication-integration hook). *)
+type fusion_reason =
+  | Not_contractible  (** Def. 6: candidate array not contractible within the grown cluster set *)
+  | Region_mismatch  (** Def. 5(i): statements iterate different regions *)
+  | Nonnull_flow  (** Def. 5(ii): a loop-carried flow dependence would be internalized *)
+  | No_loop_structure  (** Def. 5(iv): FIND-LOOP-STRUCTURE returned NOSOLUTION *)
+  | Cycle  (** merged cluster graph would be cyclic *)
+  | External_veto  (** the [may_fuse] hook refused (favor-communication mode) *)
+
+val fusion_reason_name : fusion_reason -> string
+(** Stable kebab-case name, used as counter suffix and in JSON. *)
+
+val all_fusion_reasons : fusion_reason list
+
+type event =
+  | Fusion_attempt of { array : string option; clusters : int }
+      (** a merge of [clusters] clusters was attempted, driven by
+          [array] ([None] for the greedy pairwise sweep) *)
+  | Fusion_accept of { array : string option; clusters : int }
+  | Fusion_reject of { array : string option; reason : fusion_reason }
+  | Contraction_candidate of { array : string }
+  | Contraction_perform of { array : string; shape : string }
+      (** [shape] is ["scalar"] or ["dims:0110"]-style for partial
+          contraction *)
+  | Reduction_absorbed of { reduce : int; cluster : int }
+  | Note of { name : string; value : string }  (** free-form marker *)
+
+val event_counter : event -> string option
+(** The counter each event bumps (e.g. [Fusion_reject] with
+    [Nonnull_flow] bumps ["fusion.rejected.nonnull-flow"]); [None] for
+    [Note]. *)
+
+(** {1 Spans and reports} *)
+
+type span = {
+  span_name : string;
+  elapsed_ns : float;
+  children : span list;  (** in execution order *)
+}
+
+type report = {
+  spans : span list;  (** top-level spans, in execution order *)
+  counters : (string * int) list;  (** sorted by name *)
+  totals : (string * float) list;  (** float-valued counters, sorted *)
+  events : event list;  (** in emission order *)
+}
+
+(** {1 Sinks and recorders} *)
+
+type sink
+(** Receives streamed notifications as instrumentation fires (the
+    recorder accumulates the report regardless of sink). *)
+
+val null_sink : sink
+(** Accumulate only; stream nothing. *)
+
+val text_sink : Format.formatter -> sink
+(** Stream an indented span tree with timings, and one line per event
+    — the [--trace] rendering. *)
+
+type t
+(** A recorder: accumulates spans, counters and events. *)
+
+val create : ?sink:sink -> unit -> t
+(** Fresh recorder.  The fusion and contraction counters are pre-seeded
+    to 0 so reports have a stable key set. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] installs [t] as the current recorder for the dynamic
+    extent of [f] (restored on exceptions; nested [run]s shadow). *)
+
+val report : t -> report
+(** Snapshot of everything recorded so far.  Open spans are excluded. *)
+
+(** {1 Instrumentation points}
+
+    All are no-ops (one [ref] read) when no recorder is installed. *)
+
+val enabled : unit -> bool
+(** [true] iff a recorder is installed — guard allocation-heavy
+    event construction in hot paths with this. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Time [f] as a child of the innermost open span. *)
+
+val count : string -> int -> unit
+(** Add to a named integer counter. *)
+
+val total : string -> float -> unit
+(** Add to a named float accumulator (ns saved, bytes, ...). *)
+
+val event : event -> unit
+(** Record an event (and bump its counter, see {!event_counter}). *)
+
+(** {1 Rendering} *)
+
+val report_to_json : report -> Json.t
+(** Stable schema: [{"spans": [{"name", "ns", "children"}...],
+    "counters": {...}, "totals": {...}}]. *)
+
+val pp_spans : Format.formatter -> span list -> unit
+val pp_report : Format.formatter -> report -> unit

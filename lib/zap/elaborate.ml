@@ -315,7 +315,9 @@ let elaborate ?(config = []) (p : Ast.program) : Prog.t =
   | Error e -> err 0 "%s" e);
   prog
 
-let compile_string ?config src = elaborate ?config (Parser.parse src)
+let compile_string ?config src =
+  let ast = Obs.span "parse" (fun () -> Parser.parse src) in
+  Obs.span "elaborate" (fun () -> elaborate ?config ast)
 
 let compile_file ?config path =
   let ic = open_in_bin path in

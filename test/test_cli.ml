@@ -67,6 +67,79 @@ end.
     Alcotest.(check bool) "emits C" true (contains out "#include <math.h>")
   end
 
+(* Golden test for the machine-readable compile report: valid JSON on
+   stdout, stable schema, fusion/contraction counters and the pass-span
+   tree present. *)
+let test_stats_json () =
+  if available then begin
+    let code, out = run "--bench ep --tile 32 -O c2 --stats json:-" in
+    Alcotest.(check int) "exit 0" 0 code;
+    let j =
+      match Obs.Json.of_string (String.trim out) with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "stats not valid JSON (%s): %s" e out
+    in
+    Alcotest.(check bool)
+      "schema" true
+      (Obs.Json.member "schema" j
+      = Some (Obs.Json.String "zapc/compile-report/1"));
+    List.iter
+      (fun key ->
+        match Obs.Json.find j [ "counters"; key ] with
+        | Some (Obs.Json.Int _) -> ()
+        | _ -> Alcotest.failf "missing counter %s" key)
+      [
+        "fusion.attempted";
+        "fusion.accepted";
+        "fusion.rejected.nonnull-flow";
+        "contraction.candidates";
+        "contraction.performed";
+        "dep.edges";
+      ];
+    (* every compiled pass appears in the span tree with a timing *)
+    let rec span_names acc = function
+      | Obs.Json.Obj _ as s ->
+          let name =
+            match Obs.Json.member "name" s with
+            | Some (Obs.Json.String n) -> n
+            | _ -> Alcotest.fail "span without name"
+          in
+          (match Obs.Json.member "ns" s with
+          | Some (Obs.Json.Float _ | Obs.Json.Int _) -> ()
+          | _ -> Alcotest.failf "span %s without ns timing" name);
+          let kids =
+            match Obs.Json.member "children" s with
+            | Some (Obs.Json.List l) -> l
+            | _ -> []
+          in
+          List.fold_left span_names (name :: acc) kids
+      | _ -> Alcotest.fail "span is not an object"
+    in
+    let names =
+      match Obs.Json.member "spans" j with
+      | Some (Obs.Json.List spans) -> List.fold_left span_names [] spans
+      | _ -> Alcotest.fail "no spans"
+    in
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) (n ^ " span") true (List.mem n names))
+      [ "parse"; "elaborate"; "compile"; "check"; "plan"; "fusion";
+        "contraction"; "scalarize" ];
+    (* the contraction decisions are listed with their shapes *)
+    match Obs.Json.member "contracted" j with
+    | Some (Obs.Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "no contracted arrays listed"
+  end
+
+(* The internal spelling of the paper levels must be accepted too. *)
+let test_level_spellings () =
+  if available then
+    List.iter
+      (fun l ->
+        let code, _ = run (Printf.sprintf "--bench ep --tile 16 -O %s" l) in
+        Alcotest.(check int) (l ^ " accepted") 0 code)
+      [ "c2+f3"; "c2f3"; "C2+F4"; "c2p" ]
+
 let test_bad_input_fails () =
   if available then begin
     let code, _ = run "--bench nosuch" in
@@ -83,6 +156,8 @@ let suites =
         Alcotest.test_case "dump plan" `Quick test_dump_plan;
         Alcotest.test_case "run with machine model" `Quick test_run_flag;
         Alcotest.test_case "file input + dump-c" `Quick test_file_input;
+        Alcotest.test_case "stats json report" `Quick test_stats_json;
+        Alcotest.test_case "level spellings" `Quick test_level_spellings;
         Alcotest.test_case "bad input" `Quick test_bad_input_fails;
       ] );
   ]

@@ -1,0 +1,244 @@
+(* The observability layer: JSON round-trips, diagnostics, recorder
+   semantics, and the instrumentation the driver emits through it. *)
+
+open Ir
+
+let json = Alcotest.testable Obs.Json.pp ( = )
+
+(* ---------------- Json ------------------------------------------- *)
+
+let sample =
+  Obs.Json.(
+    Obj
+      [
+        ("name", String "tomcatv");
+        ("ok", Bool true);
+        ("none", Null);
+        ("n", Int 42);
+        ("pct", Float 81.25);
+        ("weird", String "a\"b\\c\nd\te");
+        ("xs", List [ Int 1; Int (-2); Float 0.5; String "" ]);
+        ("nested", Obj [ ("deep", List [ Obj [ ("k", Int 7) ] ]) ]);
+      ])
+
+let test_json_roundtrip () =
+  let s = Obs.Json.to_string sample in
+  match Obs.Json.of_string s with
+  | Ok v -> Alcotest.check json "parse (print x) = x" sample v
+  | Error e -> Alcotest.failf "re-parse failed: %s on %s" e s
+
+let test_json_accessors () =
+  Alcotest.(check (option int))
+    "member" (Some 42)
+    (match Obs.Json.member "n" sample with
+    | Some (Obs.Json.Int n) -> Some n
+    | _ -> None);
+  Alcotest.(check (option int))
+    "find path" (Some 7)
+    (match Obs.Json.find sample [ "nested"; "deep" ] with
+    | Some (Obs.Json.List [ o ]) -> (
+        match Obs.Json.member "k" o with
+        | Some (Obs.Json.Int n) -> Some n
+        | _ -> None)
+    | _ -> None)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok v -> Alcotest.failf "accepted %S as %s" s (Obs.Json.to_string v)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nulll"; "\"unterminated"; "{} trailing" ]
+
+(* ---------------- Diagnostic ------------------------------------- *)
+
+let test_diagnostic_render () =
+  let d = Obs.Diagnostic.error ~phase:"cli" "no such file" in
+  Alcotest.(check string)
+    "no loc" "cli error: no such file"
+    (Obs.Diagnostic.to_string d);
+  let d =
+    Obs.Diagnostic.errorf ~loc:("prog.zap", 3) ~phase:"parse" "bad %s" "token"
+  in
+  Alcotest.(check string)
+    "with loc" "prog.zap:3: parse error: bad token"
+    (Obs.Diagnostic.to_string d)
+
+(* ---------------- recorder --------------------------------------- *)
+
+let test_disabled_noop () =
+  Alcotest.(check bool) "disabled outside run" false (Obs.enabled ());
+  (* instrumentation without a recorder must be inert, not crash *)
+  Obs.count "free.counter" 3;
+  Alcotest.(check int) "span passes value through" 9
+    (Obs.span "orphan" (fun () -> 9))
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  let v =
+    Obs.run t (fun () ->
+        Obs.span "outer" (fun () ->
+            Obs.span "a" (fun () -> ());
+            Obs.span "b" (fun () -> Obs.span "b1" (fun () -> ()));
+            17))
+  in
+  Alcotest.(check int) "value" 17 v;
+  let r = Obs.report t in
+  let rec shape (s : Obs.span) =
+    s.Obs.span_name ^ "("
+    ^ String.concat "," (List.map shape s.Obs.children)
+    ^ ")"
+  in
+  Alcotest.(check (list string))
+    "span tree"
+    [ "outer(a(),b(b1()))" ]
+    (List.map shape r.Obs.spans);
+  let rec all_nonneg (s : Obs.span) =
+    s.Obs.elapsed_ns >= 0.0 && List.for_all all_nonneg s.Obs.children
+  in
+  Alcotest.(check bool) "timings >= 0" true (List.for_all all_nonneg r.Obs.spans)
+
+let test_counters_and_events () =
+  let t = Obs.create () in
+  Obs.run t (fun () ->
+      Obs.count "custom.hits" 2;
+      Obs.count "custom.hits" 3;
+      Obs.total "custom.ns" 1.5;
+      Obs.event (Obs.Fusion_reject { array = Some "T"; reason = Obs.Nonnull_flow });
+      Obs.event (Obs.Contraction_perform { array = "T"; shape = "scalar" }));
+  let r = Obs.report t in
+  let counter name = List.assoc_opt name r.Obs.counters in
+  Alcotest.(check (option int)) "accumulates" (Some 5) (counter "custom.hits");
+  Alcotest.(check (option int))
+    "event bumps its counter" (Some 1)
+    (counter "fusion.rejected.nonnull-flow");
+  Alcotest.(check (option int))
+    "seeded keys present at 0" (Some 0)
+    (counter "fusion.rejected.cycle");
+  Alcotest.(check (option (float 1e-9)))
+    "float totals" (Some 1.5)
+    (List.assoc_opt "custom.ns" r.Obs.totals);
+  Alcotest.(check int) "events kept in order" 2 (List.length r.Obs.events)
+
+(* ---------------- result-based driver API ------------------------ *)
+
+let region = Region.of_bounds [ (1, 4) ]
+
+let valid_prog () =
+  let bounds = Region.of_bounds [ (0, 5) ] in
+  let arr name kind = { Prog.name; bounds; kind } in
+  {
+    Prog.name = "obsdemo";
+    arrays = [ arr "A" Prog.User; arr "T" Prog.Compiler; arr "B" Prog.User ];
+    scalars = [];
+    body =
+      [
+        Prog.Astmt (Nstmt.make ~region ~lhs:"A" (Expr.Idx 1));
+        Prog.Astmt
+          (Nstmt.make ~region ~lhs:"T"
+             Expr.(Binop (Mul, Ref ("A", Support.Vec.zero 1), Const 2.0)));
+        Prog.Astmt
+          (Nstmt.make ~region ~lhs:"B"
+             Expr.(Binop (Add, Ref ("T", Support.Vec.zero 1), Const 1.0)));
+      ];
+    live_out = [ "B" ];
+  }
+
+let invalid_prog () =
+  let p = valid_prog () in
+  {
+    p with
+    Prog.body =
+      p.Prog.body
+      @ [ Prog.Astmt (Nstmt.make ~region ~lhs:"NOPE" (Expr.Const 1.0)) ];
+  }
+
+let test_compile_ok () =
+  match Compilers.Driver.compile ~level:Compilers.Driver.C2 (valid_prog ()) with
+  | Ok c ->
+      Alcotest.(check bool)
+        "T contracted" true
+        (List.mem_assoc "T" c.Compilers.Driver.contracted)
+  | Error d -> Alcotest.failf "unexpected: %s" (Obs.Diagnostic.to_string d)
+
+let test_compile_error_is_diagnostic () =
+  match
+    Compilers.Driver.compile ~level:Compilers.Driver.C2 (invalid_prog ())
+  with
+  | Ok _ -> Alcotest.fail "invalid program compiled"
+  | Error d ->
+      Alcotest.(check string) "phase" "check" d.Obs.Diagnostic.phase;
+      Alcotest.(check bool)
+        "severity" true
+        (d.Obs.Diagnostic.severity = Obs.Diagnostic.Error)
+
+let test_compile_exn_raises () =
+  match
+    Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 (invalid_prog ())
+  with
+  | _ -> Alcotest.fail "invalid program compiled"
+  | exception Obs.Error d ->
+      Alcotest.(check string) "phase" "check" d.Obs.Diagnostic.phase
+
+(* ---------------- driver instrumentation ------------------------- *)
+
+let test_compile_is_instrumented () =
+  let t = Obs.create () in
+  Obs.run t (fun () ->
+      ignore (Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 (valid_prog ())));
+  let r = Obs.report t in
+  (match r.Obs.spans with
+  | [ c ] ->
+      Alcotest.(check string) "root span" "compile" c.Obs.span_name;
+      let kids = List.map (fun (s : Obs.span) -> s.Obs.span_name) c.Obs.children in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " span present") true (List.mem k kids))
+        [ "check"; "plan"; "scalarize" ]
+  | spans -> Alcotest.failf "expected 1 root span, got %d" (List.length spans));
+  let counter name = List.assoc_opt name r.Obs.counters in
+  Alcotest.(check bool)
+    "fusion attempts recorded" true
+    (match counter "fusion.attempted" with Some n -> n > 0 | None -> false);
+  (* A (dead user array) and T (compiler temp) both contract at c2 *)
+  Alcotest.(check (option int)) "contraction performed" (Some 2)
+    (counter "contraction.performed");
+  Alcotest.(check bool)
+    "dependence edges recorded" true
+    (match counter "dep.edges" with Some n -> n > 0 | None -> false);
+  (* the JSON rendering carries the same keys *)
+  let j = Obs.report_to_json r in
+  Alcotest.(check bool)
+    "json has counters" true
+    (Obs.Json.find j [ "counters"; "fusion.attempted" ] <> None);
+  Alcotest.(check bool)
+    "json has spans" true
+    (match Obs.Json.member "spans" j with
+    | Some (Obs.Json.List (_ :: _)) -> true
+    | _ -> false)
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+      ] );
+    ( "obs.recorder",
+      [
+        Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_render;
+        Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "counters and events" `Quick test_counters_and_events;
+      ] );
+    ( "obs.driver",
+      [
+        Alcotest.test_case "compile ok" `Quick test_compile_ok;
+        Alcotest.test_case "compile error diagnostic" `Quick
+          test_compile_error_is_diagnostic;
+        Alcotest.test_case "compile_exn raises" `Quick test_compile_exn_raises;
+        Alcotest.test_case "compile emits spans + counters" `Quick
+          test_compile_is_instrumented;
+      ] );
+  ]
