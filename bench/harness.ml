@@ -71,6 +71,10 @@ let compile ?may_fuse ?reduction_fusion ~level prog =
    (machine-readable rows) instead of the formatted tables. *)
 let json_mode = ref false
 
+(* With --tiny, sections that support it shrink the problem to
+   CI-smoke size (seconds instead of minutes). *)
+let tiny_mode = ref false
+
 let json_row fields = print_endline (Obs.Json.to_string (Obs.Json.Obj fields))
 
 let heading title =

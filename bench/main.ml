@@ -70,6 +70,7 @@ let sections =
     ("fig11", Figures.fig11);
     ("sec55", Figures.sec55);
     ("ablate", Figures.ablate);
+    ("spmd", Spmd_agree.section);
     ("speed", optimizer_speed);
   ]
 
@@ -82,6 +83,10 @@ let () =
       (fun a ->
         if a = "--json" then begin
           Harness.json_mode := true;
+          false
+        end
+        else if a = "--tiny" then begin
+          Harness.tiny_mode := true;
           false
         end
         else true)

@@ -132,7 +132,7 @@ let dump_plan (c : Compilers.Driver.compiled) =
         bp.Sir.Scalarize.absorbed)
     c.Compilers.Driver.plan
 
-let stats_json prog level (c : Compilers.Driver.compiled) report =
+let stats_json ?spmd prog level (c : Compilers.Driver.compiled) report =
   let open Obs.Json in
   let nc, nu = Compilers.Driver.contracted_counts c in
   let base =
@@ -161,14 +161,19 @@ let stats_json prog level (c : Compilers.Driver.compiled) report =
       ("footprint_bytes", Int (Exec.Interp.footprint_bytes c.Compilers.Driver.code));
     ]
   in
+  let base =
+    match spmd with
+    | Some (machine, r) -> base @ [ ("spmd", Spmd.report_json ~machine r) ]
+    | None -> base
+  in
   match Obs.report_to_json report with
   | Obj fields -> Obj (base @ fields)
   | other -> Obj (base @ [ ("report", other) ])
 
-let write_stats (fmt, dest) prog level c report =
+let write_stats ?spmd (fmt, dest) prog level c report =
   let text =
     match fmt with
-    | "json" -> Obs.Json.to_string (stats_json prog level c report) ^ "\n"
+    | "json" -> Obs.Json.to_string (stats_json ?spmd prog level c report) ^ "\n"
     | _ -> Format.asprintf "%a" Obs.pp_report report
   in
   if dest = "-" then begin
@@ -183,11 +188,12 @@ let write_stats (fmt, dest) prog level c report =
         Ok ()
     | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
 
-let run_report machine procs (c : Compilers.Driver.compiled) =
+let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
   let* m = parse_machine machine in
   let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
   let r = Comm.Perf.measure cfg c in
-  Printf.printf
+  if not quiet then
+    Printf.printf
     "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
     \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
     \  messages %d (%d bytes)  checksum %s\n"
@@ -203,14 +209,50 @@ let run_report machine procs (c : Compilers.Driver.compiled) =
           (100.0 *. Cachesim.Cache.miss_rate l2)
     | None -> "")
     r.Comm.Perf.messages r.Comm.Perf.msg_bytes r.Comm.Perf.checksum;
-  Ok ()
+  if not spmd then Ok None
+  else
+    match
+      Spmd.execute
+        { Spmd.machine = m; procs; opts = Comm.Model.all_on; cachesim = true }
+        c
+    with
+    | s ->
+        let agree =
+          if
+            String.equal s.Spmd.checksum r.Comm.Perf.checksum
+            && s.Spmd.charged_messages = r.Comm.Perf.messages
+            && s.Spmd.charged_bytes = r.Comm.Perf.msg_bytes
+          then "matches model"
+          else "DIVERGES from model"
+        in
+        if not quiet then
+          Printf.printf
+          "spmd on %s x%d: time %.3f ms over %d supersteps (%s)\n\
+          \  charged %d messages (%d bytes)  wire %d messages (%d bytes)\n\
+          \  ghost fills %d  unmodeled %d  reduction messages %d%s\n\
+          \  checksum %s\n"
+          m.Machine.name procs
+          (s.Spmd.time_ns /. 1e6)
+          s.Spmd.supersteps agree s.Spmd.charged_messages s.Spmd.charged_bytes
+          s.Spmd.wire_messages s.Spmd.wire_bytes s.Spmd.ghost_fills
+          s.Spmd.unmodeled_exchanges s.Spmd.reduction_messages
+          (match s.Spmd.l1 with
+          | Some l1 ->
+              Printf.sprintf "  L1 miss %.2f%%"
+                (100.0 *. Cachesim.Cache.miss_rate l1)
+          | None -> "")
+          s.Spmd.checksum;
+        Ok (Some (m, s))
+    | exception Spmd.Unsupported msg ->
+        Error (Diag.errorf ~phase:"spmd" "unsupported: %s" msg)
+    | exception Spmd.Runtime_error msg -> Error (Diag.error ~phase:"spmd" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
-    dump_c emit_c run machine procs trace stats =
+    dump_c emit_c run machine procs spmd trace stats =
   let result =
     let* stats = parse_stats stats in
     let recorder =
@@ -277,9 +319,12 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
         (Compilers.Driver.remaining_arrays c)
         (Exec.Interp.footprint_bytes c.Compilers.Driver.code)
     end;
-    let* () = if run then run_report machine procs c else Ok () in
+    let* spmd_report =
+      if run then run_report ~quiet machine procs spmd c else Ok None
+    in
     match (recorder, stats) with
-    | Some r, Some spec -> write_stats spec prog level c (Obs.report r)
+    | Some r, Some spec ->
+        write_stats ?spmd:spmd_report spec prog level c (Obs.report r)
     | _ -> Ok ()
   in
   Result.map_error (fun d -> `Msg (Diag.to_string d)) result
@@ -362,6 +407,16 @@ let machine_arg =
 let procs_arg =
   Arg.(value & opt int 1 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
 
+let spmd_arg =
+  Arg.(
+    value & flag
+    & info [ "spmd" ]
+        ~doc:
+          "With $(b,--run): also execute the program on a simulated \
+           processor grid (one evaluator per processor, explicit border \
+           exchanges) and report the executed counters next to the \
+           modeled ones.")
+
 let trace_arg =
   Arg.(
     value & flag
@@ -393,6 +448,6 @@ let cmd =
         (const main $ bench_arg $ file_arg $ level_arg $ config_arg
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
-       $ trace_arg $ stats_arg))
+       $ spmd_arg $ trace_arg $ stats_arg))
 
 let () = exit (Cmd.eval cmd)

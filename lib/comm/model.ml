@@ -42,34 +42,63 @@ let cluster_cost_ns ~machine p rep =
     (Core.Partition.members p rep)
 
 (* ------------------------------------------------------------------ *)
-(* Exchange events                                                     *)
+(* Per-block message schedules                                         *)
 (* ------------------------------------------------------------------ *)
 
-type event = {
-  array : string;
-  dir : int array;  (** neighbor direction (sign vector) *)
-  ebytes : int;
-  consumer : int;  (** cluster position in the block schedule *)
-  producer : int;  (** last earlier position writing the array; -1 = block entry *)
+type part = {
+  p_array : string;
+  p_dir : int array;
+  p_depth : int array;  (** per-dimension ghost depth; 0 where [p_dir] is 0 *)
+  p_bytes : int;
 }
 
-let ghost_bytes region dir (off : Support.Vec.t) =
+type message = {
+  m_dir : int array;
+  m_parts : part list;
+  m_producer : int;
+  m_consumer : int;
+  m_bytes : int;
+}
+
+type block_sched = {
+  b_rank : int;
+  b_costs : float array;
+  b_steps : message list array;
+  b_inferred : int;
+  b_kept : int;
+}
+
+(* A ghost slab covers the consumer's full region extent in the
+   dimensions the message does not cross, and [depth] elements in the
+   dimensions it does. *)
+let slab_bytes region dir (depth : int array) =
   let n = Region.rank region in
   let elems = ref 1 in
   for k = 1 to n do
     let e =
-      if dir.(k - 1) = 0 then Region.extent region k
-      else abs (Support.Vec.get off k)
+      if dir.(k - 1) = 0 then Region.extent region k else depth.(k - 1)
     in
     elems := !elems * max 1 e
   done;
   8 * !elems
 
+let depth_of_off dir (off : Support.Vec.t) =
+  Array.mapi (fun k d -> if d = 0 then 0 else abs off.(k)) dir
+
+let depth_covers a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x >= y) a b
+
+let depth_max a b = Array.map2 max a b
+
 (* The schedule of one basic block: clusters in emission order, each
-   with the arrays it writes, its remote reads, and its compute cost. *)
+   with the arrays it writes, its remote reads (with componentwise-max
+   merged ghost depths), and its compute cost.  Fusion legality
+   (Def. 5(i)) makes all members of a cluster share one region. *)
 type sched_entry = {
   writes : string list;
-  remote : (string * int array * int) list;  (** array, dir, bytes *)
+  region : Region.t option;
+  remote : (string * int array * int array) list;  (** array, dir, depth *)
   cost : float;
 }
 
@@ -87,6 +116,9 @@ let block_schedule ~machine ~dist (bp : Sir.Scalarize.block_plan) =
           (fun x -> not (List.mem x contracted))
           (List.map (fun (s : Nstmt.t) -> s.lhs) stmts)
       in
+      let region =
+        match stmts with s :: _ -> Some s.Nstmt.region | [] -> None
+      in
       let remote = ref [] in
       List.iter
         (fun (s : Nstmt.t) ->
@@ -96,27 +128,36 @@ let block_schedule ~machine ~dist (bp : Sir.Scalarize.block_plan) =
                 match Dist.remote_dir dist off with
                 | None -> ()
                 | Some dir ->
-                    let b = ghost_bytes s.region dir off in
+                    let depth = depth_of_off dir off in
                     let key (x', d', _) = (x', d') in
                     let cur = !remote in
-                    let existing =
-                      List.find_opt (fun e -> key e = (x, dir)) cur
-                    in
-                    (match existing with
-                    | Some (_, _, b') when b' >= b -> ()
-                    | Some _ ->
+                    (match
+                       List.find_opt (fun e -> key e = (x, dir)) cur
+                     with
+                    | Some (_, _, depth') when depth_covers depth' depth -> ()
+                    | Some (_, _, depth') ->
                         remote :=
-                          (x, dir, b)
+                          (x, dir, depth_max depth depth')
                           :: List.filter (fun e -> key e <> (x, dir)) cur
-                    | None -> remote := (x, dir, b) :: cur))
+                    | None -> remote := (x, dir, depth) :: cur))
             (Expr.refs s.rhs))
         stmts;
       {
         writes;
+        region;
         remote = List.rev !remote;
         cost = cluster_cost_ns ~machine p rep;
       })
     order
+
+type event = {
+  e_array : string;
+  e_dir : int array;
+  e_depth : int array;
+  e_bytes : int;
+  e_consumer : int;  (** cluster position in the block schedule *)
+  e_producer : int;  (** last earlier position writing the array; -1 = block entry *)
+}
 
 let block_events sched =
   let arr = Array.of_list sched in
@@ -124,14 +165,27 @@ let block_events sched =
   Array.iteri
     (fun c entry ->
       List.iter
-        (fun (x, dir, ebytes) ->
+        (fun (x, dir, depth) ->
           (* last earlier cluster writing x *)
           let producer = ref (-1) in
           for q = 0 to c - 1 do
             if List.mem x arr.(q).writes then producer := q
           done;
-          events := { array = x; dir; ebytes; consumer = c; producer = !producer }
-                    :: !events)
+          let bytes =
+            match entry.region with
+            | Some r -> slab_bytes r dir depth
+            | None -> 0
+          in
+          events :=
+            {
+              e_array = x;
+              e_dir = dir;
+              e_depth = depth;
+              e_bytes = bytes;
+              e_consumer = c;
+              e_producer = !producer;
+            }
+            :: !events)
         entry.remote)
     arr;
   List.rev !events
@@ -152,55 +206,95 @@ let eliminate_redundant sched events =
       let redundant =
         List.exists
           (fun e' ->
-            e'.array = e.array && e'.dir = e.dir && e'.ebytes >= e.ebytes
-            && not (written_between e.array e'.consumer e.consumer))
+            e'.e_array = e.e_array && e'.e_dir = e.e_dir
+            && depth_covers e'.e_depth e.e_depth
+            && e'.e_bytes >= e.e_bytes
+            && not (written_between e.e_array e'.e_consumer e.e_consumer))
           !kept
       in
       if not redundant then kept := e :: !kept;
       not redundant)
     events
 
-(* ------------------------------------------------------------------ *)
-(* Costing                                                             *)
-(* ------------------------------------------------------------------ *)
+let part_of_event e =
+  { p_array = e.e_array; p_dir = e.e_dir; p_depth = e.e_depth; p_bytes = e.e_bytes }
 
-type msg = {
-  mbytes : int;
-  window : float;  (** overlappable compute between producer and consumer *)
-}
-
-let messages_of_events ~opts sched events =
-  let arr = Array.of_list sched in
-  let window_of ~producer ~consumer =
-    let w = ref 0.0 in
-    for q = producer + 1 to consumer - 1 do
-      w := !w +. arr.(q).cost
-    done;
-    !w
-  in
-  if opts.combining then
-    (* one message per (consumer, dir) *)
-    let groups = Hashtbl.create 16 in
+let messages_of_events ~opts events =
+  if opts.combining then begin
+    (* one message per (consumer, dir), preserving first-seen order *)
+    let groups = ref [] in
     List.iter
       (fun e ->
-        let key = (e.consumer, e.dir) in
-        let bytes0, prod0 =
-          try Hashtbl.find groups key with Not_found -> (0, -1)
-        in
-        Hashtbl.replace groups key (bytes0 + e.ebytes, max prod0 e.producer))
+        let key = (e.e_consumer, e.e_dir) in
+        match List.assoc_opt key !groups with
+        | Some cell ->
+            let parts, producer, bytes = !cell in
+            cell := (part_of_event e :: parts, max producer e.e_producer,
+                     bytes + e.e_bytes)
+        | None ->
+            groups :=
+              !groups @ [ (key, ref ([ part_of_event e ], e.e_producer, e.e_bytes)) ])
       events;
-    Hashtbl.fold
-      (fun (consumer, _) (mbytes, producer) acc ->
-        { mbytes; window = window_of ~producer ~consumer } :: acc)
-      groups []
+    List.map
+      (fun ((consumer, dir), cell) ->
+        let parts, producer, bytes = !cell in
+        {
+          m_dir = dir;
+          m_parts = List.rev parts;
+          m_producer = producer;
+          m_consumer = consumer;
+          m_bytes = bytes;
+        })
+      !groups
+  end
   else
     List.map
       (fun e ->
         {
-          mbytes = e.ebytes;
-          window = window_of ~producer:e.producer ~consumer:e.consumer;
+          m_dir = e.e_dir;
+          m_parts = [ part_of_event e ];
+          m_producer = e.e_producer;
+          m_consumer = e.e_consumer;
+          m_bytes = e.e_bytes;
         })
       events
+
+let schedule ~(machine : Machine.t) ~procs ~opts
+    (c : Compilers.Driver.compiled) =
+  let prog = c.Compilers.Driver.prog in
+  let blocks = Prog.blocks prog in
+  List.map2
+    (fun bp stmts ->
+      let rank =
+        match stmts with
+        | (s : Nstmt.t) :: _ -> Region.rank s.Nstmt.region
+        | [] -> 2
+      in
+      let dist = Dist.make ~rank ~procs in
+      let sched = block_schedule ~machine ~dist bp in
+      let events = block_events sched in
+      let inferred = List.length events in
+      let events =
+        if opts.redundancy then eliminate_redundant sched events else events
+      in
+      let kept = List.length events in
+      let msgs = messages_of_events ~opts events in
+      let n = List.length sched in
+      let steps = Array.make n [] in
+      List.iter (fun m -> steps.(m.m_consumer) <- m :: steps.(m.m_consumer)) msgs;
+      Array.iteri (fun i l -> steps.(i) <- List.rev l) steps;
+      {
+        b_rank = rank;
+        b_costs = Array.of_list (List.map (fun e -> e.cost) sched);
+        b_steps = steps;
+        b_inferred = inferred;
+        b_kept = kept;
+      })
+    c.Compilers.Driver.plan blocks
+
+let reduction_stages procs =
+  if procs <= 1 then 0
+  else int_of_float (ceil (log (float_of_int procs) /. log 2.0))
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program analysis                                              *)
@@ -213,10 +307,10 @@ let analyze ~(machine : Machine.t) ~procs ~opts
     { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 }
   else begin
     let prog = c.Compilers.Driver.prog in
-    let plans = Array.of_list c.Compilers.Driver.plan in
+    let scheds = Array.of_list (schedule ~machine ~procs ~opts c) in
     (* per-block execution multipliers + reduction executions, via the
        same traversal order as Prog.blocks *)
-    let block_mult = Array.make (Array.length plans) 0 in
+    let block_mult = Array.make (Array.length scheds) 0 in
     let reductions = ref 0 in
     let next_block = ref 0 in
     let rec walk mult pending stmts =
@@ -245,56 +339,51 @@ let analyze ~(machine : Machine.t) ~procs ~opts
     let beta = machine.Machine.byte_ns in
     let total = ref { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 } in
     Array.iteri
-      (fun bi bp ->
+      (fun bi bs ->
         let mult = block_mult.(bi) in
         if mult > 0 then begin
-          let rank =
-            match List.nth_opt (Prog.blocks prog) bi with
-            | Some (s :: _) -> Region.rank s.Nstmt.region
-            | _ -> 2
-          in
-          let dist = Dist.make ~rank ~procs in
-          let sched = block_schedule ~machine ~dist bp in
-          let events = block_events sched in
-          let inferred = List.length events in
-          let events =
-            if opts.redundancy then eliminate_redundant sched events
-            else events
-          in
+          let n_msgs = Array.fold_left (fun a l -> a + List.length l) 0 bs.b_steps in
           let obs = Obs.enabled () in
-          if obs then
+          if obs then begin
             Obs.count "comm.redundancy.exchanges-eliminated"
-              (mult * (inferred - List.length events));
-          let msgs = messages_of_events ~opts sched events in
-          if obs then
+              (mult * (bs.b_inferred - bs.b_kept));
             Obs.count "comm.combining.messages-saved"
-              (mult * (List.length events - List.length msgs));
-          List.iter
-            (fun m ->
-              let raw = alpha +. (beta *. float_of_int m.mbytes) in
-              let eff =
-                if opts.pipelining then max (0.25 *. alpha) (raw -. m.window)
-                else raw
-              in
-              if obs then
-                Obs.total "comm.pipelining.ns-hidden"
-                  (float_of_int mult *. (raw -. eff));
-              total :=
-                {
-                  !total with
-                  messages = !total.messages + mult;
-                  bytes = !total.bytes + (mult * m.mbytes);
-                  raw_ns = !total.raw_ns +. (float_of_int mult *. raw);
-                  effective_ns =
-                    !total.effective_ns +. (float_of_int mult *. eff);
-                })
-            msgs
+              (mult * (bs.b_kept - n_msgs))
+          end;
+          let window_of ~producer ~consumer =
+            let w = ref 0.0 in
+            for q = producer + 1 to consumer - 1 do
+              w := !w +. bs.b_costs.(q)
+            done;
+            !w
+          in
+          Array.iter
+            (List.iter (fun m ->
+                 let raw = alpha +. (beta *. float_of_int m.m_bytes) in
+                 let window =
+                   window_of ~producer:m.m_producer ~consumer:m.m_consumer
+                 in
+                 let eff =
+                   if opts.pipelining then max (0.25 *. alpha) (raw -. window)
+                   else raw
+                 in
+                 if obs then
+                   Obs.total "comm.pipelining.ns-hidden"
+                     (float_of_int mult *. (raw -. eff));
+                 total :=
+                   {
+                     !total with
+                     messages = !total.messages + mult;
+                     bytes = !total.bytes + (mult * m.m_bytes);
+                     raw_ns = !total.raw_ns +. (float_of_int mult *. raw);
+                     effective_ns =
+                       !total.effective_ns +. (float_of_int mult *. eff);
+                   }))
+            bs.b_steps
         end)
-      plans;
+      scheds;
     (* reduction combining trees *)
-    let stages =
-      int_of_float (ceil (log (float_of_int procs) /. log 2.0))
-    in
+    let stages = reduction_stages procs in
     let red_one = float_of_int stages *. (alpha +. (8.0 *. beta)) in
     let red_total = float_of_int !reductions *. red_one in
     let summary =

@@ -39,6 +39,54 @@ type summary = {
   reduction_ns : float;  (** portion due to reduction trees *)
 }
 
+(** {1 Typed message schedules}
+
+    The per-block exchange schedule the analysis is built on, exposed
+    so an executable backend (lib/spmd) can perform {e exactly} the
+    messages the model predicts.  Positions refer to the block's
+    cluster emission order ({!Sir.Scalarize.cluster_order}). *)
+
+type part = {
+  p_array : string;  (** array whose border is carried *)
+  p_dir : int array;  (** neighbor direction (sign vector); equals the message's *)
+  p_depth : int array;
+      (** ghost depth per dimension: componentwise max of [|off_k|]
+          over the consuming cluster's remote references, 0 in
+          dimensions the direction does not cross *)
+  p_bytes : int;  (** modeled slab payload (region extents in uncrossed dims) *)
+}
+
+type message = {
+  m_dir : int array;
+  m_parts : part list;  (** one part per exchanged (array, dir); >1 only under combining *)
+  m_producer : int;  (** latest producing cluster position; -1 = block entry *)
+  m_consumer : int;  (** consuming cluster position *)
+  m_bytes : int;  (** sum of part payloads *)
+}
+
+type block_sched = {
+  b_rank : int;  (** rank of the block's statements (grid rank) *)
+  b_costs : float array;  (** static per-cluster compute estimate, emission order *)
+  b_steps : message list array;  (** messages indexed by consumer position *)
+  b_inferred : int;  (** exchanges before redundancy elimination *)
+  b_kept : int;  (** after redundancy elimination, before combining *)
+}
+
+val schedule :
+  machine:Machine.t ->
+  procs:int ->
+  opts:opts ->
+  Compilers.Driver.compiled ->
+  block_sched list
+(** One schedule per basic block, aligned with [Ir.Prog.blocks] (and
+    with the compiled plan).  Message vectorization is always applied;
+    redundancy elimination and combining follow [opts].  With
+    [procs = 1] every step list is empty. *)
+
+val reduction_stages : int -> int
+(** Stages of the log₂ p reduction combining tree: ⌈log₂ procs⌉
+    (0 for a single processor). *)
+
 val analyze :
   machine:Machine.t ->
   procs:int ->
@@ -46,7 +94,9 @@ val analyze :
   Compilers.Driver.compiled ->
   summary
 (** Infer and cost all communication for one compiled configuration.
-    With [procs = 1] everything is local: the summary is all zeros. *)
+    Built on {!schedule}: walks the program once for per-block
+    execution multipliers, then sums each block's messages.  With
+    [procs = 1] everything is local: the summary is all zeros. *)
 
 val cluster_cost_ns :
   machine:Machine.t -> Core.Partition.t -> int -> float

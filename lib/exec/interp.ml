@@ -188,15 +188,22 @@ let read_point r name idx =
   | Some a -> a.data.(flat_index name a idx)
   | None -> err "undefined (or contracted) array %s" name
 
-let checksum r =
-  let digest = ref 0L in
-  let mix v =
+module Digest = struct
+  type t = int64
+
+  let empty = 0L
+
+  let mix d v =
     let bits = Int64.bits_of_float v in
-    digest :=
-      Int64.add
-        (Int64.mul !digest 6364136223846793005L)
-        (Int64.logxor bits 1442695040888963407L)
-  in
+    Int64.add (Int64.mul d 6364136223846793005L)
+      (Int64.logxor bits 1442695040888963407L)
+
+  let to_hex d = Printf.sprintf "%016Lx" d
+end
+
+let checksum r =
+  let digest = ref Digest.empty in
+  let mix v = digest := Digest.mix !digest v in
   List.iter
     (fun name ->
       match Hashtbl.find_opt r.arrays name with
@@ -206,6 +213,6 @@ let checksum r =
           | Some v -> mix v
           | None -> err "live-out %s not found" name))
     r.live_out;
-  Printf.sprintf "%016Lx" !digest
+  Digest.to_hex !digest
 
 let footprint_bytes p = 8 * Code.program_elements p

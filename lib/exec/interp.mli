@@ -44,6 +44,17 @@ val get_array : result -> string -> float array
 val read_point : result -> string -> int array -> float
 (** One element by its original (bounds-relative) index. *)
 
+(** The live-out digest shared by every executor in the repo (this
+    interpreter, {!Refinterp}, the SPMD backend): mixing the same
+    values in the same order yields the same checksum. *)
+module Digest : sig
+  type t
+
+  val empty : t
+  val mix : t -> float -> t
+  val to_hex : t -> string
+end
+
 val checksum : result -> string
 (** Order-independent-of-nothing digest of all live-out values — two
     observationally equivalent runs produce identical checksums. *)

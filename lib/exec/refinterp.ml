@@ -128,14 +128,8 @@ let get_array r name =
 (* Identical digest to Interp.checksum so the two interpreters are
    directly comparable. *)
 let checksum r =
-  let digest = ref 0L in
-  let mix v =
-    let bits = Int64.bits_of_float v in
-    digest :=
-      Int64.add
-        (Int64.mul !digest 6364136223846793005L)
-        (Int64.logxor bits 1442695040888963407L)
-  in
+  let digest = ref Interp.Digest.empty in
+  let mix v = digest := Interp.Digest.mix !digest v in
   List.iter
     (fun name ->
       match Hashtbl.find_opt r.arrays name with
@@ -145,4 +139,4 @@ let checksum r =
           | Some v -> mix v
           | None -> err "live-out %s not found" name))
     r.live_out;
-  Printf.sprintf "%016Lx" !digest
+  Interp.Digest.to_hex !digest

@@ -1,0 +1,1047 @@
+(* The SPMD execution engine.
+
+   Interpretation: the compiled program describes the *global* problem.
+   Every array is block-distributed over one processor grid per array
+   rank (Comm.Dist supplies the factorization, so the engine and the
+   analytical model agree on the grid).  Chunk boundaries are computed
+   once per (rank, dimension) from the union of all same-rank array
+   bounds, so same-index elements of different arrays — and the
+   iteration point that computes them — always live on the same
+   processor: offset-0 references are local by construction, and the
+   owner of an iteration point is the owner of its chunk.
+
+   Execution is superstep-structured (BSP): one superstep per fusible
+   cluster, in the same emission order the scalarizer and the
+   communication model use.  A superstep delivers the messages of
+   Comm.Model.schedule, tops up any ghost slabs the model did not
+   schedule (counted as [unmodeled_exchanges]), executes the cluster's
+   members statement-at-a-time over each processor's owned points, and
+   barriers.  Statement-at-a-time execution in cluster order is a
+   linear extension of the block's dependence graph, so values are
+   bit-identical to the sequential reference execution; reductions
+   accumulate in canonical global row-major order for the same reason,
+   while the log2 p combining tree is charged to the clock.
+
+   Ghost coherence is generational: each array has a write generation
+   (bumped once per cluster execution that writes it — the same
+   granularity the model's redundancy elimination reasons at), and each
+   filled slab records the generation and depth it was filled with.  A
+   ghost read checks its slab is current and deep enough; a violation
+   is an engine/model bug and raises Runtime_error. *)
+
+open Ir
+
+type config = {
+  machine : Machine.t;
+  procs : int;
+  opts : Comm.Model.opts;
+  cachesim : bool;
+}
+
+type proc_counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable iters : int;
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  mutable recv_messages : int;
+  mutable recv_bytes : int;
+  mutable compute_ns : float;
+  mutable comm_ns : float;
+}
+
+type report = {
+  procs : int;
+  checksum : string;
+  time_ns : float;
+  supersteps : int;
+  charged_messages : int;
+  charged_bytes : int;
+  wire_messages : int;
+  wire_bytes : int;
+  reduction_messages : int;
+  unmodeled_exchanges : int;
+  ghost_fills : int;
+  per_proc : proc_counters array;
+  l1 : Cachesim.Cache.stats option;
+  l2 : Cachesim.Cache.stats option;
+}
+
+exception Unsupported of string
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+let unsup fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Grids, chunks, tiles                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One grid per array rank: Dist's factorization plus the global
+   chunking range per dimension (union of all same-rank array bounds,
+   so chunk boundaries align across arrays). *)
+type grid = {
+  per_dim : int array;
+  glo : int array;
+  ghi : int array;
+}
+
+let grid_procs g = Array.fold_left ( * ) 1 g.per_dim
+
+(* Balanced block partition of [glo..ghi] into per_dim.(k) chunks:
+   the first (total mod p) chunks are one element wider. *)
+let chunk g k j =
+  let total = g.ghi.(k) - g.glo.(k) + 1 in
+  let p = g.per_dim.(k) in
+  let q = total / p and m = total mod p in
+  let lo = g.glo.(k) + (j * q) + min j m in
+  let w = q + if j < m then 1 else 0 in
+  (lo, lo + w - 1)
+
+let owner_dim g k idx =
+  let total = g.ghi.(k) - g.glo.(k) + 1 in
+  let p = g.per_dim.(k) in
+  let rel = idx - g.glo.(k) in
+  if rel < 0 || rel >= total then err "index %d outside global range in dim %d" idx (k + 1);
+  let q = total / p and m = total mod p in
+  let threshold = (q + 1) * m in
+  if rel < threshold then rel / (q + 1) else m + ((rel - threshold) / q)
+
+let min_chunk_width g k =
+  let total = g.ghi.(k) - g.glo.(k) + 1 in
+  let p = g.per_dim.(k) in
+  if p = 1 then total
+  else if total mod p = 0 then total / p
+  else total / p
+
+let coord_of g pr =
+  let rank = Array.length g.per_dim in
+  let c = Array.make rank 0 in
+  let r = ref pr in
+  for k = rank - 1 downto 0 do
+    c.(k) <- !r mod g.per_dim.(k);
+    r := !r / g.per_dim.(k)
+  done;
+  c
+
+let linear_of g c =
+  let l = ref 0 in
+  Array.iteri (fun k x -> l := (!l * g.per_dim.(k)) + x) c;
+  !l
+
+let in_grid g c =
+  let ok = ref true in
+  Array.iteri (fun k x -> if x < 0 || x >= g.per_dim.(k) then ok := false) c;
+  !ok
+
+(* One processor's tile of one array: the owned chunk extended by the
+   halo, clipped to the array's allocation bounds. *)
+type tile = {
+  wlo : int array;  (** window (owned + halo) low, per dim *)
+  whi : int array;
+  clo : int array;  (** this processor's chunk (unclipped) *)
+  chi : int array;
+  strides : int array;
+  data : float array;
+  base : int;  (** element base address (per-processor address space) *)
+}
+
+type arr = {
+  info : Prog.array_info;
+  grid : grid;
+  rank : int;
+  halo : int array;
+  tiles : tile array;
+  mutable wgen : int;  (** write generation, bumped per writing cluster execution *)
+  slabs : (int array, int * int array) Hashtbl.t array;
+      (** per proc: ghost direction -> (generation, filled depth) *)
+}
+
+let bound arr k = Region.range arr.info.bounds (k + 1)
+
+let mk_tile (a : Prog.array_info) grid halo base pr =
+  let rank = Region.rank a.bounds in
+  let c = coord_of grid pr in
+  let wlo = Array.make rank 0
+  and whi = Array.make rank 0
+  and clo = Array.make rank 0
+  and chi = Array.make rank 0 in
+  for k = 0 to rank - 1 do
+    let lo, hi = chunk grid k c.(k) in
+    clo.(k) <- lo;
+    chi.(k) <- hi;
+    let { Region.lo = blo; hi = bhi } = Region.range a.bounds (k + 1) in
+    wlo.(k) <- max blo (lo - halo.(k));
+    whi.(k) <- min bhi (hi + halo.(k))
+  done;
+  let strides = Array.make rank 1 in
+  for k = rank - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * max 0 (whi.(k + 1) - wlo.(k + 1) + 1)
+  done;
+  let vol =
+    Array.to_list (Array.init rank (fun k -> max 0 (whi.(k) - wlo.(k) + 1)))
+    |> List.fold_left ( * ) 1
+  in
+  { wlo; whi; clo; chi; strides; data = Array.make (max 1 vol) 0.0; base }
+
+let tile_volume t =
+  let v = ref 1 in
+  Array.iteri (fun k lo -> v := !v * max 0 (t.whi.(k) - lo + 1)) t.wlo;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* The execution environment                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The statically numbered execution tree: block indices match
+   Prog.blocks (and so the plan and the model schedule). *)
+type node =
+  | Nblock of int
+  | Nreduce of { target : string; op : Prog.redop; region : Region.t; arg : Expr.t }
+  | Nsassign of string * Expr.t
+  | Nsloop of { var : string; lo : int; hi : int; body : node list }
+
+type env = {
+  cfg : config;
+  prog : Prog.t;
+  arrs : (string, arr) Hashtbl.t;
+  scalars : (string, float) Hashtbl.t;
+  pc : proc_counters array;
+  hier : Cachesim.Cache.Hierarchy.h array;  (** empty when cachesim is off *)
+  grids : (int, grid) Hashtbl.t;  (** by rank *)
+  coords : (int, int array array) Hashtbl.t;  (** by rank, per proc *)
+  sched : Comm.Model.block_sched array;
+  clusters : Nstmt.t list array array;  (** block -> step -> members, source order *)
+  tp : float array;  (** per-proc clock *)
+  mutable now : float;  (** common clock at the last barrier *)
+  mutable supersteps : int;
+  mutable charged_messages : int;
+  mutable charged_bytes : int;
+  mutable wire_messages : int;
+  mutable wire_bytes : int;
+  mutable reduction_messages : int;
+  mutable unmodeled : int;
+  mutable ghost_fills : int;
+}
+
+let find_arr env x =
+  match Hashtbl.find_opt env.arrs x with
+  | Some a -> a
+  | None -> err "undeclared array %s" x
+
+let grid_for env rank =
+  match Hashtbl.find_opt env.grids rank with
+  | Some g -> g
+  | None -> err "no grid of rank %d" rank
+
+let coords_for env rank = Hashtbl.find env.coords rank
+
+let get_scalar env s =
+  match Hashtbl.find_opt env.scalars s with
+  | Some v -> v
+  | None -> err "undefined scalar %s" s
+
+let touch env pr tile flat ~write =
+  if Array.length env.hier > 0 then
+    Cachesim.Cache.Hierarchy.access env.hier.(pr)
+      ~addr:((tile.base + flat) * 8)
+      ~write
+
+(* ------------------------------------------------------------------ *)
+(* Element access                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let flat_of tile idx =
+  let f = ref 0 in
+  Array.iteri
+    (fun k x ->
+      if x < tile.wlo.(k) || x > tile.whi.(k) then
+        err "index %d outside halo window [%d..%d] in dim %d" x tile.wlo.(k)
+          tile.whi.(k) (k + 1);
+      f := !f + ((x - tile.wlo.(k)) * tile.strides.(k)))
+    idx;
+  !f
+
+let read_elem env pr arr idx =
+  let tile = arr.tiles.(pr) in
+  let flat = flat_of tile idx in
+  (* ghost coherence check *)
+  let dir = Array.make arr.rank 0 in
+  let ghost = ref false in
+  Array.iteri
+    (fun k x ->
+      if x < tile.clo.(k) then begin
+        dir.(k) <- -1;
+        ghost := true
+      end
+      else if x > tile.chi.(k) then begin
+        dir.(k) <- 1;
+        ghost := true
+      end)
+    idx;
+  if !ghost then begin
+    match Hashtbl.find_opt arr.slabs.(pr) dir with
+    | Some (gen, depth) when gen = arr.wgen ->
+        Array.iteri
+          (fun k d ->
+            if d <> 0 then
+              let need =
+                if d < 0 then tile.clo.(k) - idx.(k) else idx.(k) - tile.chi.(k)
+              in
+              if depth.(k) < need then
+                err "ghost slab of %s too shallow on proc %d" arr.info.name pr)
+          dir
+    | _ -> err "stale ghost read of %s on proc %d" arr.info.name pr
+  end;
+  env.pc.(pr).loads <- env.pc.(pr).loads + 1;
+  touch env pr tile flat ~write:false;
+  tile.data.(flat)
+
+let write_elem env pr arr idx v =
+  let tile = arr.tiles.(pr) in
+  let flat = flat_of tile idx in
+  Array.iteri
+    (fun k x ->
+      if x < tile.clo.(k) || x > tile.chi.(k) then
+        err "write outside owned chunk of %s on proc %d" arr.info.name pr)
+    idx;
+  env.pc.(pr).stores <- env.pc.(pr).stores + 1;
+  env.pc.(pr).iters <- env.pc.(pr).iters + 1;
+  touch env pr tile flat ~write:true;
+  tile.data.(flat) <- v
+
+let peek arr pr idx = arr.tiles.(pr).data.(flat_of arr.tiles.(pr) idx)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (mirrors Exec.Interp's operation counting)    *)
+(* ------------------------------------------------------------------ *)
+
+let is_flop : Expr.binop -> bool = function
+  | Add | Sub | Mul | Div | Pow | Min | Max -> true
+  | Lt | Le | Gt | Ge | Eq | Ne | And | Or -> false
+
+let rec eval env pr idx (e : Expr.t) : float =
+  match e with
+  | Expr.Const f -> f
+  | Expr.Svar s -> get_scalar env s
+  | Expr.Idx i -> float_of_int idx.(i - 1)
+  | Expr.Ref (x, d) ->
+      let arr = find_arr env x in
+      let shifted = Array.init (Array.length idx) (fun k -> idx.(k) + d.(k)) in
+      read_elem env pr arr shifted
+  | Expr.Unop (op, a) ->
+      let va = eval env pr idx a in
+      env.pc.(pr).flops <- env.pc.(pr).flops + 1;
+      Expr.apply_unop op va
+  | Expr.Binop (op, a, b) ->
+      let va = eval env pr idx a in
+      let vb = eval env pr idx b in
+      if is_flop op then env.pc.(pr).flops <- env.pc.(pr).flops + 1;
+      Expr.apply_binop op va vb
+  | Expr.Select (c, a, b) ->
+      let vc = eval env pr idx c in
+      let va = eval env pr idx a in
+      let vb = eval env pr idx b in
+      if vc <> 0.0 then va else vb
+
+(* ------------------------------------------------------------------ *)
+(* Message delivery and ghost fills                                    *)
+(* ------------------------------------------------------------------ *)
+
+let record_slab arr pr dir depth =
+  let fresh =
+    match Hashtbl.find_opt arr.slabs.(pr) dir with
+    | Some (gen, d) when gen = arr.wgen -> Array.map2 max d depth
+    | _ -> Array.copy depth
+  in
+  Hashtbl.replace arr.slabs.(pr) (Array.copy dir) (arr.wgen, fresh)
+
+(* Copy one ghost slab from the sender's owned cells into the
+   receiver's halo.  In uncrossed dimensions the slab spans the
+   receiver's full owned range (clipped to the array bounds); in
+   crossed ones it is [depth] elements beyond the chunk boundary.
+   Returns the number of elements copied. *)
+let fill_slab env arr ~pr ~sr dir depth =
+  let tr = arr.tiles.(pr) and ts = arr.tiles.(sr) in
+  let rank = arr.rank in
+  let lo = Array.make rank 0 and hi = Array.make rank 0 in
+  let empty = ref false in
+  for k = 0 to rank - 1 do
+    let { Region.lo = blo; hi = bhi } = bound arr k in
+    let l, h =
+      if dir.(k) = 0 then (max blo tr.clo.(k), min bhi tr.chi.(k))
+      else if dir.(k) < 0 then (max blo (tr.clo.(k) - depth.(k)), min bhi (tr.clo.(k) - 1))
+      else (max blo (tr.chi.(k) + 1), min bhi (tr.chi.(k) + depth.(k)))
+    in
+    lo.(k) <- l;
+    hi.(k) <- h;
+    if l > h then empty := true
+  done;
+  record_slab arr pr dir depth;
+  if !empty then 0
+  else begin
+    let n = ref 0 in
+    let idx = Array.copy lo in
+    let rec go k =
+      if k = rank then begin
+        tr.data.(flat_of tr idx) <- ts.data.(flat_of ts idx);
+        incr n
+      end
+      else
+        for x = lo.(k) to hi.(k) do
+          idx.(k) <- x;
+          go (k + 1)
+        done
+    in
+    go 0;
+    if !n > 0 then env.ghost_fills <- env.ghost_fills + 1;
+    !n
+  end
+
+let account_wire env ~pr ~sr bytes =
+  env.wire_messages <- env.wire_messages + 1;
+  env.wire_bytes <- env.wire_bytes + bytes;
+  env.pc.(sr).sent_messages <- env.pc.(sr).sent_messages + 1;
+  env.pc.(sr).sent_bytes <- env.pc.(sr).sent_bytes + bytes;
+  env.pc.(pr).recv_messages <- env.pc.(pr).recv_messages + 1;
+  env.pc.(pr).recv_bytes <- env.pc.(pr).recv_bytes + bytes
+
+(* Deliver one scheduled message on every processor that has the
+   matching neighbor.  The charge (model currency) is per message per
+   block execution; the wire cost is per actual sender->receiver pair,
+   with the receiver's wait overlapped against the time since the
+   producing superstep when pipelining is on. *)
+let deliver env rank (m : Comm.Model.message) step_end block_start =
+  let machine = env.cfg.machine in
+  let alpha = machine.Machine.msg_latency_ns in
+  let beta = machine.Machine.byte_ns in
+  env.charged_messages <- env.charged_messages + 1;
+  env.charged_bytes <- env.charged_bytes + m.Comm.Model.m_bytes;
+  let posted =
+    if m.Comm.Model.m_producer < 0 then block_start
+    else step_end.(m.Comm.Model.m_producer)
+  in
+  let grid = grid_for env rank in
+  let coords = coords_for env rank in
+  for pr = 0 to env.cfg.procs - 1 do
+    let sc =
+      Array.init rank (fun k -> coords.(pr).(k) + m.Comm.Model.m_dir.(k))
+    in
+    if in_grid grid sc then begin
+      let sr = linear_of grid sc in
+      let elems =
+        List.fold_left
+          (fun acc (p : Comm.Model.part) ->
+            let arr = find_arr env p.Comm.Model.p_array in
+            acc + fill_slab env arr ~pr ~sr p.Comm.Model.p_dir p.Comm.Model.p_depth)
+          0 m.Comm.Model.m_parts
+      in
+      if elems > 0 then begin
+        let bytes = 8 * elems in
+        account_wire env ~pr ~sr bytes;
+        let raw = alpha +. (beta *. float_of_int bytes) in
+        let wait =
+          if env.cfg.opts.Comm.Model.pipelining then
+            max (0.25 *. alpha) (raw -. (env.now -. posted))
+          else raw
+        in
+        env.tp.(pr) <- env.tp.(pr) +. wait;
+        env.pc.(pr).comm_ns <- env.pc.(pr).comm_ns +. wait
+      end
+    end
+  done
+
+(* Ghost needs the schedule may not cover: for every remote reference,
+   enumerate the crossing patterns its reads actually produce on each
+   processor (exact, per-dimension interval arithmetic on rectangles)
+   and top up any slab that is stale or too shallow.  Such fills exist
+   only for reference shapes outside the model's vocabulary (diagonal
+   subset patterns, reduction arguments at an offset, contracted
+   arrays under c2+p) and are counted as [unmodeled]. *)
+let ensure_needs env rank ~(region : Region.t) refs =
+  let machine = env.cfg.machine in
+  let alpha = machine.Machine.msg_latency_ns in
+  let beta = machine.Machine.byte_ns in
+  let grid = grid_for env rank in
+  let coords = coords_for env rank in
+  List.iter
+    (fun (x, (off : Support.Vec.t)) ->
+      let crossing_possible = ref false in
+      Array.iteri
+        (fun k p -> if p > 1 && off.(k) <> 0 then crossing_possible := true)
+        grid.per_dim;
+      if !crossing_possible then begin
+        let arr = find_arr env x in
+        for pr = 0 to env.cfg.procs - 1 do
+          let c = coords.(pr) in
+          let empty = ref false in
+          let occ =
+            Array.init rank (fun k ->
+                let clo, chi = chunk grid k c.(k) in
+                let { Region.lo = rlo; hi = rhi } = Region.range region (k + 1) in
+                let ilo = max rlo clo and ihi = min rhi chi in
+                if ilo > ihi then begin
+                  empty := true;
+                  [ 0 ]
+                end
+                else begin
+                  let lo' = ilo + off.(k) and hi' = ihi + off.(k) in
+                  let l = if hi' > chi then [ 1 ] else [] in
+                  let l = if hi' >= clo && lo' <= chi then 0 :: l else l in
+                  if lo' < clo then -1 :: l else l
+                end)
+          in
+          if not !empty then begin
+            (* cartesian product of per-dim crossing classes *)
+            let rec patterns k acc =
+              if k = rank then
+                if Array.for_all (fun d -> d = 0) acc then ()
+                else begin
+                  let dir = Array.copy acc in
+                  let need =
+                    Array.mapi (fun j d -> if d = 0 then 0 else abs off.(j)) dir
+                  in
+                  let fresh =
+                    match Hashtbl.find_opt arr.slabs.(pr) dir with
+                    | Some (gen, depth) when gen = arr.wgen ->
+                        Array.for_all2 ( <= ) need depth
+                    | _ -> false
+                  in
+                  if not fresh then begin
+                    let sc = Array.init rank (fun j -> c.(j) + dir.(j)) in
+                    if not (in_grid grid sc) then
+                      err "unmodeled exchange with no neighbor (%s)" x;
+                    let sr = linear_of grid sc in
+                    let n = fill_slab env arr ~pr ~sr dir need in
+                    env.unmodeled <- env.unmodeled + 1;
+                    if n > 0 then begin
+                      let bytes = 8 * n in
+                      account_wire env ~pr ~sr bytes;
+                      let raw = alpha +. (beta *. float_of_int bytes) in
+                      env.tp.(pr) <- env.tp.(pr) +. raw;
+                      env.pc.(pr).comm_ns <- env.pc.(pr).comm_ns +. raw
+                    end
+                  end
+                end
+              else
+                List.iter
+                  (fun d ->
+                    acc.(k) <- d;
+                    patterns (k + 1) acc)
+                  occ.(k)
+            in
+            patterns 0 (Array.make rank 0)
+          end
+        done
+      end)
+    refs
+
+(* ------------------------------------------------------------------ *)
+(* Compute costing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type snap = { s_loads : int; s_stores : int; s_flops : int; s_l1m : int; s_l2m : int }
+
+let snapshot env pr =
+  let c = env.pc.(pr) in
+  let l1m, l2m =
+    if Array.length env.hier > 0 then
+      let h = env.hier.(pr) in
+      ( (Cachesim.Cache.Hierarchy.l1_stats h).Cachesim.Cache.misses,
+        match Cachesim.Cache.Hierarchy.l2_stats h with
+        | Some s -> s.Cachesim.Cache.misses
+        | None -> 0 )
+    else (0, 0)
+  in
+  { s_loads = c.loads; s_stores = c.stores; s_flops = c.flops; s_l1m = l1m; s_l2m = l2m }
+
+let charge_compute env pr s0 =
+  let s1 = snapshot env pr in
+  let c = env.pc.(pr) in
+  let t =
+    Machine.time_ns env.cfg.machine
+      {
+        Machine.flops = s1.s_flops - s0.s_flops;
+        l1_accesses = s1.s_loads - s0.s_loads + (s1.s_stores - s0.s_stores);
+        l1_misses = s1.s_l1m - s0.s_l1m;
+        l2_misses = s1.s_l2m - s0.s_l2m;
+        comm_ns = 0.0;
+      }
+  in
+  env.tp.(pr) <- env.tp.(pr) +. t;
+  c.compute_ns <- c.compute_ns +. t
+
+let barrier env =
+  let m = Array.fold_left max env.now env.tp in
+  env.now <- m;
+  Array.fill env.tp 0 (Array.length env.tp) m;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let exec_stmt_on env pr (s : Nstmt.t) =
+  let arr = find_arr env s.lhs in
+  let tile = arr.tiles.(pr) in
+  let rank = arr.rank in
+  let bnds =
+    List.init rank (fun k ->
+        let { Region.lo; hi } = Region.range s.region (k + 1) in
+        (max lo tile.clo.(k), min hi tile.chi.(k)))
+  in
+  if List.exists (fun (lo, hi) -> lo > hi) bnds then ()
+  else
+    Region.iter (Region.of_bounds bnds) (fun idx ->
+        let v = eval env pr idx s.rhs in
+        let tgt = Array.init rank (fun k -> idx.(k) + s.lhs_off.(k)) in
+        write_elem env pr arr tgt v)
+
+let exec_superstep env bi si step_end block_start =
+  Obs.span "spmd-superstep" @@ fun () ->
+  env.supersteps <- env.supersteps + 1;
+  let bs = env.sched.(bi) in
+  let rank = bs.Comm.Model.b_rank in
+  let stmts = env.clusters.(bi).(si) in
+  List.iter
+    (fun m -> deliver env rank m step_end block_start)
+    bs.Comm.Model.b_steps.(si);
+  List.iter
+    (fun (s : Nstmt.t) -> ensure_needs env rank ~region:s.region (Expr.refs s.rhs))
+    stmts;
+  for pr = 0 to env.cfg.procs - 1 do
+    let s0 = snapshot env pr in
+    List.iter (exec_stmt_on env pr) stmts;
+    charge_compute env pr s0
+  done;
+  let written = List.sort_uniq compare (List.map (fun (s : Nstmt.t) -> s.lhs) stmts) in
+  List.iter (fun x -> let a = find_arr env x in a.wgen <- a.wgen + 1) written;
+  step_end.(si) <- barrier env
+
+let exec_block env bi =
+  let n = Array.length env.clusters.(bi) in
+  let step_end = Array.make n 0.0 in
+  let block_start = env.now in
+  for si = 0 to n - 1 do
+    exec_superstep env bi si step_end block_start
+  done
+
+let red_init : Prog.redop -> float = function
+  | Prog.Rsum -> 0.0
+  | Prog.Rprod -> 1.0
+  | Prog.Rmin -> infinity
+  | Prog.Rmax -> neg_infinity
+
+let red_apply : Prog.redop -> float -> float -> float = function
+  | Prog.Rsum -> ( +. )
+  | Prog.Rprod -> ( *. )
+  | Prog.Rmin -> min
+  | Prog.Rmax -> max
+
+(* Reductions: every processor evaluates the points it owns, but the
+   accumulation folds contributions in canonical global row-major
+   order — bit-identical to the sequential interpreters.  The clock and
+   the message counters are charged for the log2 p combining tree the
+   runtime would use (the divergence from a real tree's accumulation
+   order is documented in docs/spmd.md). *)
+let exec_reduce env ~target ~op ~region ~arg =
+  Obs.span "spmd-superstep" @@ fun () ->
+  env.supersteps <- env.supersteps + 1;
+  let rank = Region.rank region in
+  let procs = env.cfg.procs in
+  ensure_needs env rank ~region (Expr.refs arg);
+  let grid = grid_for env rank in
+  let snaps = Array.init procs (snapshot env) in
+  let acc = ref (red_init op) in
+  let apply = red_apply op in
+  Region.iter region (fun idx ->
+      let c = Array.mapi (fun k x -> owner_dim grid k x) idx in
+      let pr = linear_of grid c in
+      let v = eval env pr idx arg in
+      env.pc.(pr).flops <- env.pc.(pr).flops + 1;
+      acc := apply !acc v);
+  Hashtbl.replace env.scalars target !acc;
+  for pr = 0 to procs - 1 do
+    charge_compute env pr snaps.(pr)
+  done;
+  let stages = Comm.Model.reduction_stages procs in
+  if stages > 0 then begin
+    let machine = env.cfg.machine in
+    let alpha = machine.Machine.msg_latency_ns in
+    let beta = machine.Machine.byte_ns in
+    env.charged_messages <- env.charged_messages + stages;
+    env.reduction_messages <- env.reduction_messages + stages;
+    let cost = float_of_int stages *. (alpha +. (8.0 *. beta)) in
+    for pr = 0 to procs - 1 do
+      env.tp.(pr) <- env.tp.(pr) +. cost;
+      env.pc.(pr).comm_ns <- env.pc.(pr).comm_ns +. cost
+    done;
+    (* binomial combining tree: p-1 wire messages of one double each *)
+    for s = 0 to stages - 1 do
+      let step = 1 lsl s in
+      let r = ref 0 in
+      while !r + step < procs do
+        account_wire env ~pr:!r ~sr:(!r + step) 8;
+        r := !r + (2 * step)
+      done
+    done
+  end;
+  ignore (barrier env)
+
+let exec_sassign env x e =
+  let procs = env.cfg.procs in
+  let f0 = env.pc.(0).flops in
+  let v = eval env 0 [||] e in
+  let df = env.pc.(0).flops - f0 in
+  Hashtbl.replace env.scalars x v;
+  (* scalar work is replicated on every processor *)
+  let t = float_of_int df *. env.cfg.machine.Machine.flop_ns in
+  for pr = 0 to procs - 1 do
+    if pr > 0 then env.pc.(pr).flops <- env.pc.(pr).flops + df;
+    env.tp.(pr) <- env.tp.(pr) +. t;
+    env.pc.(pr).compute_ns <- env.pc.(pr).compute_ns +. t
+  done;
+  env.now <- env.now +. t
+
+let rec exec_node env = function
+  | Nblock bi -> exec_block env bi
+  | Nreduce { target; op; region; arg } -> exec_reduce env ~target ~op ~region ~arg
+  | Nsassign (x, e) -> exec_sassign env x e
+  | Nsloop { var; lo; hi; body } ->
+      for i = lo to hi do
+        Hashtbl.replace env.scalars var (float_of_int i);
+        List.iter (exec_node env) body
+      done
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Number the maximal Astmt runs exactly like Prog.blocks does. *)
+let annotate (prog : Prog.t) =
+  let next = ref 0 in
+  let rec go stmts =
+    let flush pending acc =
+      if pending = [] then acc
+      else begin
+        let bi = !next in
+        incr next;
+        Nblock bi :: acc
+      end
+    in
+    let rec aux pending acc = function
+      | [] -> List.rev (flush pending acc)
+      | Prog.Astmt s :: tl -> aux (s :: pending) acc tl
+      | Prog.Sloop { var; lo; hi; body } :: tl ->
+          let acc = flush pending acc in
+          aux [] (Nsloop { var; lo; hi; body = go body } :: acc) tl
+      | Prog.Reduce { target; op; region; arg } :: tl ->
+          aux [] (Nreduce { target; op; region; arg } :: flush pending acc) tl
+      | Prog.Sassign (x, e) :: tl ->
+          aux [] (Nsassign (x, e) :: flush pending acc) tl
+    in
+    aux [] [] stmts
+  in
+  let nodes = go prog.Prog.body in
+  (nodes, !next)
+
+(* All array references (with offsets) and write offsets in the
+   program, reductions included. *)
+let rec fold_stmts f acc = function
+  | [] -> acc
+  | Prog.Astmt s :: tl -> fold_stmts f (f acc (`Astmt s)) tl
+  | Prog.Reduce { region; arg; _ } :: tl ->
+      fold_stmts f (f acc (`Reduce (region, arg))) tl
+  | Prog.Sassign _ :: tl -> fold_stmts f acc tl
+  | Prog.Sloop { body; _ } :: tl -> fold_stmts f (fold_stmts f acc body) tl
+
+let grid_for_rank grids rank =
+  match Hashtbl.find_opt grids rank with
+  | Some g -> g
+  | None -> err "no grid of rank %d" rank
+
+let setup (cfg : config) (c : Compilers.Driver.compiled) =
+  let prog = c.Compilers.Driver.prog in
+  let procs = cfg.procs in
+  (* halos: per array, per dim, the max |offset| of any reference *)
+  let halos = Hashtbl.create 16 in
+  let note_ref x (off : Support.Vec.t) =
+    let cur =
+      match Hashtbl.find_opt halos x with
+      | Some h -> h
+      | None ->
+          let h = Array.make (Support.Vec.rank off) 0 in
+          Hashtbl.replace halos x h;
+          h
+    in
+    Array.iteri (fun k d -> cur.(k) <- max cur.(k) (abs d)) off
+  in
+  let refs_of e = Expr.refs e in
+  ignore
+    (fold_stmts
+       (fun () -> function
+         | `Astmt (s : Nstmt.t) -> List.iter (fun (x, o) -> note_ref x o) (refs_of s.rhs)
+         | `Reduce (_, arg) -> List.iter (fun (x, o) -> note_ref x o) (refs_of arg))
+       () prog.Prog.body);
+  (* grids: one per rank occurring among arrays or iteration regions *)
+  let grids = Hashtbl.create 4 in
+  let want_rank rank =
+    if not (Hashtbl.mem grids rank) then begin
+      let dist = Comm.Dist.make ~rank ~procs in
+      let glo = Array.make rank max_int and ghi = Array.make rank min_int in
+      List.iter
+        (fun (a : Prog.array_info) ->
+          if Region.rank a.bounds = rank then
+            for k = 0 to rank - 1 do
+              let { Region.lo; hi } = Region.range a.bounds (k + 1) in
+              glo.(k) <- min glo.(k) lo;
+              ghi.(k) <- max ghi.(k) hi
+            done)
+        prog.Prog.arrays;
+      if Array.exists (fun x -> x = max_int) glo then
+        unsup "iteration of rank %d has no arrays to derive a grid from" rank;
+      Hashtbl.replace grids rank { per_dim = Comm.Dist.per_dim dist; glo; ghi }
+    end
+  in
+  List.iter (fun (a : Prog.array_info) -> want_rank (Region.rank a.bounds)) prog.Prog.arrays;
+  ignore
+    (fold_stmts
+       (fun () -> function
+         | `Astmt (s : Nstmt.t) -> want_rank (Region.rank s.region)
+         | `Reduce (r, _) -> want_rank (Region.rank r))
+       () prog.Prog.body);
+  (* supportability checks *)
+  ignore
+    (fold_stmts
+       (fun () -> function
+         | `Astmt (s : Nstmt.t) ->
+             let g = grid_for_rank grids (Region.rank s.region) in
+             Array.iteri
+               (fun k d ->
+                 if d <> 0 && g.per_dim.(k) > 1 then
+                   unsup "write offset %d in distributed dimension %d (%s)" d
+                     (k + 1) s.lhs)
+               s.lhs_off
+         | `Reduce _ -> ())
+       () prog.Prog.body);
+  Hashtbl.iter
+    (fun x halo ->
+      match Prog.find_array prog x with
+      | None -> ()
+      | Some a ->
+          let g = grid_for_rank grids (Region.rank a.bounds) in
+          Array.iteri
+            (fun k h ->
+              if h > 0 && g.per_dim.(k) > 1 && h > min_chunk_width g k then
+                unsup "halo of %s (depth %d) exceeds the smallest chunk in dim %d"
+                  x h (k + 1))
+            halo)
+    halos;
+  (* tiles *)
+  let arrs = Hashtbl.create 16 in
+  let bases = Array.make procs 0 in
+  List.iter
+    (fun (a : Prog.array_info) ->
+      let rank = Region.rank a.bounds in
+      let grid = Hashtbl.find grids rank in
+      let halo =
+        match Hashtbl.find_opt halos a.name with
+        | Some h -> h
+        | None -> Array.make rank 0
+      in
+      let tiles =
+        Array.init procs (fun pr ->
+            let t = mk_tile a grid halo bases.(pr) pr in
+            (* pad allocations apart, as the sequential interpreter does *)
+            bases.(pr) <- bases.(pr) + tile_volume t + 8;
+            t)
+      in
+      Hashtbl.replace arrs a.name
+        {
+          info = a;
+          grid;
+          rank;
+          halo;
+          tiles;
+          wgen = 0;
+          slabs = Array.init procs (fun _ -> Hashtbl.create 8);
+        })
+    prog.Prog.arrays;
+  let coords = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun rank grid ->
+      if grid_procs grid <> procs then
+        err "grid of rank %d covers %d processors, expected %d" rank
+          (grid_procs grid) procs;
+      Hashtbl.replace coords rank (Array.init procs (coord_of grid)))
+    grids;
+  let scalars = Hashtbl.create 16 in
+  List.iter (fun (s, v) -> Hashtbl.replace scalars s v) prog.Prog.scalars;
+  let sched =
+    Array.of_list
+      (Comm.Model.schedule ~machine:cfg.machine ~procs ~opts:cfg.opts c)
+  in
+  let _nodes, n_blocks = annotate prog in
+  if n_blocks <> Array.length sched then
+    err "block numbering mismatch: %d blocks, %d schedules" n_blocks
+      (Array.length sched);
+  let clusters =
+    Array.of_list
+      (List.map
+         (fun (bp : Sir.Scalarize.block_plan) ->
+           let p = bp.Sir.Scalarize.partition in
+           let g = Core.Partition.asdg p in
+           Array.of_list
+             (List.map
+                (fun rep ->
+                  List.map (Core.Asdg.stmt g)
+                    (List.sort compare (Core.Partition.members p rep)))
+                (Sir.Scalarize.cluster_order p)))
+         c.Compilers.Driver.plan)
+  in
+  let mk_pc () =
+    {
+      loads = 0;
+      stores = 0;
+      flops = 0;
+      iters = 0;
+      sent_messages = 0;
+      sent_bytes = 0;
+      recv_messages = 0;
+      recv_bytes = 0;
+      compute_ns = 0.0;
+      comm_ns = 0.0;
+    }
+  in
+  {
+    cfg;
+    prog;
+    arrs;
+    scalars;
+    pc = Array.init procs (fun _ -> mk_pc ());
+    hier =
+      (if cfg.cachesim then
+         Array.init procs (fun _ ->
+             Cachesim.Cache.Hierarchy.create ~l1:cfg.machine.Machine.l1
+               ?l2:cfg.machine.Machine.l2 ())
+       else [||]);
+    grids;
+    coords;
+    sched;
+    clusters;
+    tp = Array.make procs 0.0;
+    now = 0.0;
+    supersteps = 0;
+    charged_messages = 0;
+    charged_bytes = 0;
+    wire_messages = 0;
+    wire_bytes = 0;
+    reduction_messages = 0;
+    unmodeled = 0;
+    ghost_fills = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checksum and report                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let checksum env =
+  let d = ref Exec.Interp.Digest.empty in
+  let mix v = d := Exec.Interp.Digest.mix !d v in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt env.arrs name with
+      | Some arr ->
+          Region.iter arr.info.bounds (fun idx ->
+              let c = Array.mapi (fun k x -> owner_dim arr.grid k x) idx in
+              mix (peek arr (linear_of arr.grid c) idx))
+      | None -> (
+          match Hashtbl.find_opt env.scalars name with
+          | Some v -> mix v
+          | None -> err "live-out %s not found" name))
+    env.prog.Prog.live_out;
+  Exec.Interp.Digest.to_hex !d
+
+let sum_stats get env =
+  if Array.length env.hier = 0 then None
+  else
+    Array.fold_left
+      (fun acc h ->
+        match get h with
+        | None -> acc
+        | Some (s : Cachesim.Cache.stats) -> (
+            match acc with
+            | None -> Some s
+            | Some (a : Cachesim.Cache.stats) ->
+                Some
+                  {
+                    Cachesim.Cache.accesses = a.accesses + s.accesses;
+                    hits = a.hits + s.hits;
+                    misses = a.misses + s.misses;
+                  }))
+      None env.hier
+
+let execute (cfg : config) (c : Compilers.Driver.compiled) =
+  if cfg.procs < 1 then invalid_arg "Spmd.execute: procs must be >= 1";
+  Obs.span "spmd-execute" @@ fun () ->
+  let env = setup cfg c in
+  List.iter (exec_node env) (fst (annotate env.prog));
+  let sum = checksum env in
+  if Obs.enabled () then begin
+    Obs.count "spmd.messages" env.wire_messages;
+    Obs.count "spmd.bytes" env.wire_bytes;
+    Obs.count "spmd.charged-messages" env.charged_messages;
+    Obs.count "spmd.charged-bytes" env.charged_bytes;
+    Obs.count "spmd.ghost-fills" env.ghost_fills;
+    Obs.count "spmd.unmodeled-exchanges" env.unmodeled;
+    Obs.count "spmd.supersteps" env.supersteps
+  end;
+  {
+    procs = cfg.procs;
+    checksum = sum;
+    time_ns = env.now;
+    supersteps = env.supersteps;
+    charged_messages = env.charged_messages;
+    charged_bytes = env.charged_bytes;
+    wire_messages = env.wire_messages;
+    wire_bytes = env.wire_bytes;
+    reduction_messages = env.reduction_messages;
+    unmodeled_exchanges = env.unmodeled;
+    ghost_fills = env.ghost_fills;
+    per_proc = env.pc;
+    l1 =
+      sum_stats (fun h -> Some (Cachesim.Cache.Hierarchy.l1_stats h)) env;
+    l2 = sum_stats Cachesim.Cache.Hierarchy.l2_stats env;
+  }
+
+let report_json ~(machine : Machine.t) (r : report) =
+  let open Obs.Json in
+  let stats = function
+    | None -> Null
+    | Some (s : Cachesim.Cache.stats) ->
+        Obj
+          [
+            ("accesses", Int s.accesses);
+            ("hits", Int s.hits);
+            ("misses", Int s.misses);
+          ]
+  in
+  Obj
+    [
+      ("schema", String "zapc/spmd-report/1");
+      ("machine", String machine.Machine.name);
+      ("procs", Int r.procs);
+      ("checksum", String r.checksum);
+      ("time_ns", Float r.time_ns);
+      ("supersteps", Int r.supersteps);
+      ( "charged",
+        Obj [ ("messages", Int r.charged_messages); ("bytes", Int r.charged_bytes) ] );
+      ( "wire",
+        Obj [ ("messages", Int r.wire_messages); ("bytes", Int r.wire_bytes) ] );
+      ("reduction_messages", Int r.reduction_messages);
+      ("unmodeled_exchanges", Int r.unmodeled_exchanges);
+      ("ghost_fills", Int r.ghost_fills);
+      ("l1", stats r.l1);
+      ("l2", stats r.l2);
+    ]

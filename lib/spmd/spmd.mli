@@ -1,0 +1,90 @@
+(** Executable SPMD backend: runs a compiled program on a simulated
+    processor grid.
+
+    Where {!Comm.Model} {e predicts} communication, this engine
+    {e performs} it.  Every array of the program is block-distributed
+    over the same [Comm.Dist] grid the model uses (one grid per array
+    rank, with globally aligned chunk boundaries): each virtual
+    processor owns a local tile extended by ghost halos sized from the
+    program's reference offsets.  Execution proceeds in supersteps —
+    one per fusible cluster, in the cluster emission order — and each
+    superstep first delivers exactly the messages of the model's
+    {!Comm.Model.schedule} (vectorized border slabs, with redundancy
+    elimination and combining as configured), then runs the cluster's
+    statements on every processor over its owned iteration points, and
+    finally meets at a barrier that advances the simulated clock.
+    Reductions are evaluated in the canonical global row-major order
+    (bit-identical to the sequential interpreters) while a log₂ p
+    combining tree is charged and its messages counted.
+
+    Determinism and agreement: the run is bit-deterministic, its
+    checksum equals the sequential {!Exec.Interp.checksum} of the same
+    compiled program, and its {e charged} message/byte totals equal
+    {!Comm.Model.analyze} exactly.  The {e wire} totals count the
+    messages that actually crossed chunk boundaries (edge processors
+    have no neighbor; payloads are clipped to owned cells) and are
+    reported separately — see docs/spmd.md for the accounting and the
+    known divergences. *)
+
+type config = {
+  machine : Machine.t;
+  procs : int;
+  opts : Comm.Model.opts;  (** which optimizations the runtime applies *)
+  cachesim : bool;  (** simulate a per-processor cache hierarchy *)
+}
+
+type proc_counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable flops : int;
+  mutable iters : int;
+  mutable sent_messages : int;
+  mutable sent_bytes : int;
+  mutable recv_messages : int;
+  mutable recv_bytes : int;
+  mutable compute_ns : float;
+  mutable comm_ns : float;
+}
+
+type report = {
+  procs : int;
+  checksum : string;  (** equals the sequential interpreter's *)
+  time_ns : float;  (** critical path: the clock at the final barrier *)
+  supersteps : int;
+  charged_messages : int;
+      (** model currency: one per scheduled message per block
+          execution, plus ⌈log₂ p⌉ per reduction — equals
+          [Comm.Model.analyze.messages] *)
+  charged_bytes : int;  (** modeled payloads — equals [analyze.bytes] *)
+  wire_messages : int;  (** sender→receiver pairs actually delivered *)
+  wire_bytes : int;  (** actual clipped slab payloads *)
+  reduction_messages : int;  (** charged tree messages (part of charged) *)
+  unmodeled_exchanges : int;
+      (** ghost fills the engine needed but the model did not schedule
+          (diagonal-only reference patterns, reduction arguments read
+          at an offset, contracted arrays under c2+p); 0 for all paper
+          benchmarks *)
+  ghost_fills : int;  (** slabs filled, scheduled + unscheduled *)
+  per_proc : proc_counters array;
+  l1 : Cachesim.Cache.stats option;  (** summed over processors *)
+  l2 : Cachesim.Cache.stats option;
+}
+
+exception Unsupported of string
+(** The program/grid combination is outside the engine's domain:
+    a ghost halo deeper than the smallest chunk of a split dimension,
+    or a write offset ([lhs_off]) in a split dimension. *)
+
+exception Runtime_error of string
+(** Internal invariant violation (stale ghost read, index outside its
+    halo window) — indicates an engine or model bug, not bad input. *)
+
+val execute : config -> Compilers.Driver.compiled -> report
+(** Run the program to completion on [config.procs] virtual
+    processors.  Emits [Obs] instrumentation when a recorder is
+    installed: a span per superstep and the [spmd.*] counters
+    (messages, bytes, ghost-fills, unmodeled-exchanges). *)
+
+val report_json : machine:Machine.t -> report -> Obs.Json.t
+(** Stable JSON rendering of a report (schema [zapc/spmd-report/1]),
+    shared by [zapc --stats] and the bench agreement harness. *)

@@ -236,6 +236,49 @@ let prop_cache_matches_naive =
         (fun a -> Cachesim.Cache.access fast ~addr:a = Naive.access slow a)
         addrs)
 
+(* --- Dist: grid factorization, split dims, neighbor directions ---- *)
+
+let check_per_dim msg ~rank ~procs expect =
+  let d = Comm.Dist.make ~rank ~procs in
+  Alcotest.(check (array int)) msg (Array.of_list expect) (Comm.Dist.per_dim d)
+
+let test_dist_factorization () =
+  check_per_dim "6 over rank 3" ~rank:3 ~procs:6 [ 2; 3; 1 ];
+  check_per_dim "12 over rank 3" ~rank:3 ~procs:12 [ 2; 2; 3 ];
+  check_per_dim "16 over rank 3" ~rank:3 ~procs:16 [ 4; 2; 2 ];
+  check_per_dim "12 over rank 2" ~rank:2 ~procs:12 [ 6; 2 ];
+  check_per_dim "6 over rank 2" ~rank:2 ~procs:6 [ 2; 3 ];
+  check_per_dim "1 over rank 3" ~rank:3 ~procs:1 [ 1; 1; 1 ]
+
+let test_dist_split_and_remote_dir () =
+  (* 6 processors over rank 3: 2x3x1 — the third dimension is serial *)
+  let d = Comm.Dist.make ~rank:3 ~procs:6 in
+  Alcotest.(check bool) "dim 1 split" true (Comm.Dist.dim_split d 1);
+  Alcotest.(check bool) "dim 2 split" true (Comm.Dist.dim_split d 2);
+  Alcotest.(check bool) "dim 3 serial" false (Comm.Dist.dim_split d 3);
+  let dir off = Comm.Dist.remote_dir d (v off) in
+  Alcotest.(check (option (array int)))
+    "offset only in the serial dim is local" None
+    (dir [ 0; 0; -1 ]);
+  Alcotest.(check (option (array int)))
+    "split components kept, serial dropped"
+    (Some [| 0; 1; 0 |])
+    (dir [ 0; 2; -1 ]);
+  Alcotest.(check (option (array int)))
+    "signs, not magnitudes"
+    (Some [| -1; 1; 0 |])
+    (dir [ -3; 1; 0 ]);
+  Alcotest.(check (option (array int))) "null offset" None (dir [ 0; 0; 0 ]);
+  (* 12 over rank 2 (6x2): both dims split *)
+  let d2 = Comm.Dist.make ~rank:2 ~procs:12 in
+  Alcotest.(check (option (array int)))
+    "rank 2 diagonal"
+    (Some [| 1; -1 |])
+    (Comm.Dist.remote_dir d2 (v [ 1; -1 ]));
+  Alcotest.check_raises "rank mismatch rejected"
+    (Invalid_argument "Dist.remote_dir: rank mismatch") (fun () ->
+      ignore (Comm.Dist.remote_dir d2 (v [ 1; 0; 0 ])))
+
 let suites =
   [
     ( "comm.model",
@@ -249,6 +292,12 @@ let suites =
         Alcotest.test_case "contraction kills comm" `Quick test_contraction_kills_comm;
         Alcotest.test_case "ghost bytes" `Quick test_corner_ghost_bytes;
         Alcotest.test_case "cluster cost" `Quick test_cluster_cost_positive;
+      ] );
+    ( "comm.dist",
+      [
+        Alcotest.test_case "factorization" `Quick test_dist_factorization;
+        Alcotest.test_case "split dims and remote dirs" `Quick
+          test_dist_split_and_remote_dir;
       ] );
     ( "cachesim.reference",
       [ QCheck_alcotest.to_alcotest prop_cache_matches_naive ] );
