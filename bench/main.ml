@@ -71,6 +71,7 @@ let sections =
     ("sec55", Figures.sec55);
     ("ablate", Figures.ablate);
     ("spmd", Spmd_agree.section);
+    ("plan", Plan_gap.section);
     ("speed", optimizer_speed);
   ]
 

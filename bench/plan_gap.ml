@@ -1,0 +1,196 @@
+(* Planner gap: the search-based planner (lib/plan) against the
+   paper's greedy c2+f3 ladder, priced by the same unified cost model,
+   over the whole suite and every machine.
+
+   For each (benchmark, machine, procs) configuration the searched
+   plan must cost no more than the greedy plan under the model — the
+   search is seeded with the greedy partition, so a worse result is a
+   planner bug and fails the bench (exit 1) — and the searched
+   program's interpreter checksum must equal the greedy program's
+   (plans may differ; results may not).
+
+   With --json the section also writes BENCH_plan_gap.json to the
+   current directory: the committed baseline of greedy vs searched
+   cost per configuration.  Deterministic, so a re-run diffs clean
+   when nothing changed. *)
+
+let machines = [ Machine.t3e; Machine.sp2; Machine.paragon ]
+
+let procs_list = [ 1; 16 ]
+
+let tile_of (b : Suite.bench) =
+  if !Harness.tiny_mode then Some (if b.rank = 1 then 256 else 16) else None
+
+type rowr = {
+  bench : string;
+  machine : string;
+  procs : int;
+  greedy_ns : float;
+  search_ns : float;
+  chosen : string;
+  gap_pct : float;  (* 100 × (greedy − search) / greedy *)
+  improved : bool;
+  fallback : bool;
+  states : int;  (* cost evaluations across all blocks *)
+  beam_rounds : int;
+  checksum : string;
+  ok : bool;  (* search ≤ greedy AND checksums agree *)
+}
+
+let row_json r =
+  Obs.Json.Obj
+    [
+      ("bench", Obs.Json.String r.bench);
+      ("machine", Obs.Json.String r.machine);
+      ("procs", Obs.Json.Int r.procs);
+      ("greedy_ns", Obs.Json.Float r.greedy_ns);
+      ("search_ns", Obs.Json.Float r.search_ns);
+      ("chosen", Obs.Json.String r.chosen);
+      ("gap_pct", Obs.Json.Float r.gap_pct);
+      ("improved", Obs.Json.Bool r.improved);
+      ("fallback", Obs.Json.Bool r.fallback);
+      ("states", Obs.Json.Int r.states);
+      ("beam_rounds", Obs.Json.Int r.beam_rounds);
+      ("checksum", Obs.Json.String r.checksum);
+      ("ok", Obs.Json.Bool r.ok);
+    ]
+
+(* CI-smoke budget: the full search is the committed baseline's job *)
+let search_cfg () =
+  if !Harness.tiny_mode then
+    { Plan.Search.default with Plan.Search.max_states = 600; beam_width = 2 }
+  else Plan.Search.default
+
+(* checksums only depend on the generated code, not the machine the
+   plan was priced for — cache them across the machine × procs sweep *)
+let checksum_cache : (string, string) Hashtbl.t = Hashtbl.create 64
+
+let checksum_of ~key code =
+  match Hashtbl.find_opt checksum_cache key with
+  | Some s -> s
+  | None ->
+      let s = Exec.Interp.checksum (Exec.Interp.run code) in
+      Hashtbl.replace checksum_cache key s;
+      s
+
+let plan_signature (c : Compilers.Driver.compiled) =
+  String.concat ";"
+    (List.map
+       (fun (bp : Sir.Scalarize.block_plan) ->
+         String.concat "|"
+           (List.map
+              (fun cl -> String.concat "," (List.map string_of_int cl))
+              (Core.Partition.clusters bp.Sir.Scalarize.partition))
+         ^ "/"
+         ^ String.concat "," (List.map fst bp.Sir.Scalarize.contracted))
+       c.Compilers.Driver.plan)
+
+let measure (b : Suite.bench) (machine : Machine.t) procs =
+  let prog = Suite.program ?tile:(tile_of b) b in
+  let greedy = Harness.compile ~level:Compilers.Driver.C2F3 prog in
+  let cost =
+    Plan.Cost.create { Plan.Cost.machine; procs; opts = Comm.Model.all_on } prog
+  in
+  let chosen, prov =
+    match Plan.Driver.compile ~search:(search_cfg ()) ~cost prog with
+    | Ok r -> r
+    | Error d ->
+        Printf.eprintf "bench: %s\n" (Obs.Diagnostic.to_string d);
+        exit 1
+  in
+  let greedy_sum =
+    checksum_of ~key:(b.name ^ "!greedy") greedy.Compilers.Driver.code
+  in
+  let search_sum =
+    checksum_of
+      ~key:(b.name ^ "!" ^ plan_signature chosen)
+      chosen.Compilers.Driver.code
+  in
+  let g = prov.Plan.Driver.greedy_total_ns
+  and s = prov.Plan.Driver.search_total_ns in
+  (* the never-worse guarantee: fallback reverts to greedy, so the
+     chosen cost can exceed greedy's only through a planner bug *)
+  let not_worse = prov.Plan.Driver.chosen_total_ns <= g +. 1e-6 in
+  {
+    bench = b.name;
+    machine = machine.Machine.name;
+    procs;
+    greedy_ns = g;
+    search_ns = s;
+    chosen = prov.Plan.Driver.strategy;
+    gap_pct = (if g > 0.0 then 100.0 *. (g -. s) /. g else 0.0);
+    improved = s < g -. 1e-6;
+    fallback = prov.Plan.Driver.fallback;
+    states =
+      List.fold_left
+        (fun acc (r : Plan.Driver.block_report) ->
+          acc + r.Plan.Driver.stats.Plan.Search.generated)
+        0 prov.Plan.Driver.blocks;
+    beam_rounds =
+      List.fold_left
+        (fun acc (r : Plan.Driver.block_report) ->
+          acc + r.Plan.Driver.stats.Plan.Search.beam_rounds)
+        0 prov.Plan.Driver.blocks;
+    checksum = search_sum;
+    ok = not_worse && String.equal greedy_sum search_sum;
+  }
+
+let section () =
+  if not !Harness.json_mode then
+    Harness.heading
+      "Planner gap: branch-and-bound search vs greedy c2+f3 under the \
+       unified cost model";
+  let machines = if !Harness.tiny_mode then [ Machine.t3e ] else machines in
+  let procs_list = if !Harness.tiny_mode then [ 16 ] else procs_list in
+  let rows =
+    List.concat_map
+      (fun b ->
+        List.concat_map
+          (fun m -> List.map (measure b m) procs_list)
+          machines)
+      Suite.all
+  in
+  if !Harness.json_mode then begin
+    List.iter
+      (fun r ->
+        Harness.json_row
+          [ ("section", Obs.Json.String "plan"); ("row", row_json r) ])
+      rows;
+    (* the committed baseline is always full-size: the --tiny smoke
+       must not overwrite it *)
+    if not !Harness.tiny_mode then begin
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.String "fuzion/bench-plan-gap/1");
+            ("rows", Obs.Json.List (List.map row_json rows));
+          ]
+      in
+      let oc = open_out "BENCH_plan_gap.json" in
+      output_string oc (Format.asprintf "%a@." Obs.Json.pp doc);
+      close_out oc;
+      Printf.eprintf "wrote BENCH_plan_gap.json (%d rows)\n" (List.length rows)
+    end
+  end
+  else begin
+    Harness.row "%-8s %-12s %5s %14s %14s %7s %8s %7s %s\n" "bench" "machine"
+      "procs" "greedy ns" "search ns" "gap%" "states" "chosen" "ok";
+    List.iter
+      (fun r ->
+        Harness.row "%-8s %-12s %5d %14.0f %14.0f %6.2f%% %8d %7s %s\n"
+          r.bench r.machine r.procs r.greedy_ns r.search_ns r.gap_pct r.states
+          r.chosen
+          (if r.ok then "ok" else "WORSE"))
+      rows
+  end;
+  let bad = List.filter (fun r -> not r.ok) rows in
+  if bad <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf
+          "plan regression: %s on %s x%d (greedy %.0f ns, search %.0f ns, \
+           chosen %s)\n"
+          r.bench r.machine r.procs r.greedy_ns r.search_ns r.chosen)
+      bad;
+    exit 1
+  end

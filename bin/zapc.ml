@@ -85,6 +85,12 @@ let parse_level name =
             c2+p; '+' may be omitted)"
            name)
 
+let parse_plan = function
+  | "greedy" -> Ok `Greedy
+  | "search" -> Ok `Search
+  | other ->
+      Error (Diag.errorf ~phase:"cli" "unknown --plan %S (greedy|search)" other)
+
 let parse_machine name =
   match String.lowercase_ascii name with
   | "t3e" -> Ok Machine.t3e
@@ -132,7 +138,7 @@ let dump_plan (c : Compilers.Driver.compiled) =
         bp.Sir.Scalarize.absorbed)
     c.Compilers.Driver.plan
 
-let stats_json ?spmd prog level (c : Compilers.Driver.compiled) report =
+let stats_json ?spmd ?plan prog level (c : Compilers.Driver.compiled) report =
   let open Obs.Json in
   let nc, nu = Compilers.Driver.contracted_counts c in
   let base =
@@ -166,14 +172,20 @@ let stats_json ?spmd prog level (c : Compilers.Driver.compiled) report =
     | Some (machine, r) -> base @ [ ("spmd", Spmd.report_json ~machine r) ]
     | None -> base
   in
+  let base =
+    match plan with
+    | Some p -> base @ [ ("plan", Plan.Driver.provenance_json p) ]
+    | None -> base
+  in
   match Obs.report_to_json report with
   | Obj fields -> Obj (base @ fields)
   | other -> Obj (base @ [ ("report", other) ])
 
-let write_stats ?spmd (fmt, dest) prog level c report =
+let write_stats ?spmd ?plan (fmt, dest) prog level c report =
   let text =
     match fmt with
-    | "json" -> Obs.Json.to_string (stats_json ?spmd prog level c report) ^ "\n"
+    | "json" ->
+        Obs.Json.to_string (stats_json ?spmd ?plan prog level c report) ^ "\n"
     | _ -> Format.asprintf "%a" Obs.pp_report report
   in
   if dest = "-" then begin
@@ -251,9 +263,21 @@ let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* --list-levels: the full ladder zapc accepts, paper spelling then
+   the internal (plus-free) one, one level per line. *)
+let list_levels () =
+  List.iter
+    (fun l ->
+      let paper = Compilers.Driver.level_name l in
+      let internal = String.concat "" (String.split_on_char '+' paper) in
+      Printf.printf "%s %s\n" paper internal)
+    (Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ])
+
 let main bench file level config tile merge simplify dump_ir dump_plan_f
-    dump_c emit_c run machine procs spmd trace stats =
+    dump_c emit_c run machine procs spmd trace stats plan list_levels_f =
   let result =
+    if list_levels_f then Ok (list_levels ())
+    else
     let* stats = parse_stats stats in
     let recorder =
       if trace || stats <> None then
@@ -283,7 +307,23 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
       else prog
     in
     let* level = parse_level level in
-    let* c = Compilers.Driver.compile ~level prog in
+    let* plan_mode = parse_plan plan in
+    let* c, provenance =
+      match plan_mode with
+      | `Greedy ->
+          let* c = Compilers.Driver.compile ~level prog in
+          Ok (c, None)
+      | `Search ->
+          let* m = parse_machine machine in
+          let cost =
+            Plan.Cost.create
+              { Plan.Cost.machine = m; procs; opts = Comm.Model.all_on }
+              prog
+          in
+          let* c, prov = Plan.Driver.compile ~cost prog in
+          Ok (c, Some prov)
+    in
+    let level = c.Compilers.Driver.level in
     let c =
       if simplify then
         Obs.span "simplify" (fun () ->
@@ -317,14 +357,24 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
         (List.length prog.Ir.Prog.arrays)
         (nc + nu) nc nu
         (Compilers.Driver.remaining_arrays c)
-        (Exec.Interp.footprint_bytes c.Compilers.Driver.code)
+        (Exec.Interp.footprint_bytes c.Compilers.Driver.code);
+      match provenance with
+      | Some p ->
+          Printf.printf
+            "plan %s on %s x%d: greedy %.3f ms, search %.3f ms%s\n"
+            p.Plan.Driver.strategy p.Plan.Driver.machine p.Plan.Driver.procs
+            (p.Plan.Driver.greedy_total_ns /. 1e6)
+            (p.Plan.Driver.search_total_ns /. 1e6)
+            (if p.Plan.Driver.fallback then " (kept greedy)" else "")
+      | None -> ()
     end;
     let* spmd_report =
       if run then run_report ~quiet machine procs spmd c else Ok None
     in
     match (recorder, stats) with
     | Some r, Some spec ->
-        write_stats ?spmd:spmd_report spec prog level c (Obs.report r)
+        write_stats ?spmd:spmd_report ?plan:provenance spec prog level c
+          (Obs.report r)
     | _ -> Ok ()
   in
   Result.map_error (fun d -> `Msg (Diag.to_string d)) result
@@ -437,6 +487,25 @@ let stats_arg =
            summary.  FILE $(b,-) writes to stdout (and, for json, \
            suppresses the usual summary line).")
 
+let plan_arg =
+  Arg.(
+    value & opt string "greedy"
+    & info [ "plan" ] ~docv:"STRATEGY"
+        ~doc:
+          "Fusion planning strategy: $(b,greedy) (the paper's level \
+           ladder, default) or $(b,search) (branch-and-bound over fusion \
+           partitions against the unified cost model for \
+           $(b,--machine)/$(b,--procs); never worse than greedy under \
+           the model; provenance lands in $(b,--stats json)).")
+
+let list_levels_arg =
+  Arg.(
+    value & flag
+    & info [ "list-levels" ]
+        ~doc:
+          "Print the optimization-level ladder (paper spelling, then the \
+           internal plus-free spelling, one level per line) and exit.")
+
 let cmd =
   let doc =
     "array-level fusion and contraction compiler (PLDI'98 reproduction)"
@@ -448,6 +517,6 @@ let cmd =
         (const main $ bench_arg $ file_arg $ level_arg $ config_arg
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
-       $ spmd_arg $ trace_arg $ stats_arg))
+       $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg))
 
 let () = exit (Cmd.eval cmd)

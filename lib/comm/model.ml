@@ -259,38 +259,42 @@ let messages_of_events ~opts events =
         })
       events
 
+let block_sched_of ~(machine : Machine.t) ~procs ~opts stmts bp =
+  let rank =
+    match stmts with
+    | (s : Nstmt.t) :: _ -> Region.rank s.Nstmt.region
+    | [] -> 2
+  in
+  let dist = Dist.make ~rank ~procs in
+  let sched = block_schedule ~machine ~dist bp in
+  let events = block_events sched in
+  let inferred = List.length events in
+  let events =
+    if opts.redundancy then eliminate_redundant sched events else events
+  in
+  let kept = List.length events in
+  let msgs = messages_of_events ~opts events in
+  let n = List.length sched in
+  let steps = Array.make n [] in
+  List.iter (fun m -> steps.(m.m_consumer) <- m :: steps.(m.m_consumer)) msgs;
+  Array.iteri (fun i l -> steps.(i) <- List.rev l) steps;
+  {
+    b_rank = rank;
+    b_costs = Array.of_list (List.map (fun e -> e.cost) sched);
+    b_steps = steps;
+    b_inferred = inferred;
+    b_kept = kept;
+  }
+
+let schedule_plan ~machine ~procs ~opts prog plan =
+  List.map2
+    (fun bp stmts -> block_sched_of ~machine ~procs ~opts stmts bp)
+    plan (Prog.blocks prog)
+
 let schedule ~(machine : Machine.t) ~procs ~opts
     (c : Compilers.Driver.compiled) =
-  let prog = c.Compilers.Driver.prog in
-  let blocks = Prog.blocks prog in
-  List.map2
-    (fun bp stmts ->
-      let rank =
-        match stmts with
-        | (s : Nstmt.t) :: _ -> Region.rank s.Nstmt.region
-        | [] -> 2
-      in
-      let dist = Dist.make ~rank ~procs in
-      let sched = block_schedule ~machine ~dist bp in
-      let events = block_events sched in
-      let inferred = List.length events in
-      let events =
-        if opts.redundancy then eliminate_redundant sched events else events
-      in
-      let kept = List.length events in
-      let msgs = messages_of_events ~opts events in
-      let n = List.length sched in
-      let steps = Array.make n [] in
-      List.iter (fun m -> steps.(m.m_consumer) <- m :: steps.(m.m_consumer)) msgs;
-      Array.iteri (fun i l -> steps.(i) <- List.rev l) steps;
-      {
-        b_rank = rank;
-        b_costs = Array.of_list (List.map (fun e -> e.cost) sched);
-        b_steps = steps;
-        b_inferred = inferred;
-        b_kept = kept;
-      })
-    c.Compilers.Driver.plan blocks
+  schedule_plan ~machine ~procs ~opts c.Compilers.Driver.prog
+    c.Compilers.Driver.plan
 
 let reduction_stages procs =
   if procs <= 1 then 0
@@ -300,44 +304,87 @@ let reduction_stages procs =
 (* Whole-program analysis                                              *)
 (* ------------------------------------------------------------------ *)
 
-let analyze ~(machine : Machine.t) ~procs ~opts
-    (c : Compilers.Driver.compiled) =
+(* Per-block execution multipliers + total reduction executions, via
+   the same traversal order as Prog.blocks. *)
+let block_multipliers prog =
+  let n_blocks = List.length (Prog.blocks prog) in
+  let block_mult = Array.make n_blocks 0 in
+  let reductions = ref 0 in
+  let next_block = ref 0 in
+  let rec walk mult pending stmts =
+    match stmts with
+    | [] -> flush mult pending
+    | Prog.Astmt _ :: tl -> walk mult (pending + 1) tl
+    | Prog.Sloop { lo; hi; body; _ } :: tl ->
+        flush mult pending;
+        walk (mult * max 0 (hi - lo + 1)) 0 body;
+        walk mult 0 tl
+    | Prog.Reduce _ :: tl ->
+        flush mult pending;
+        reductions := !reductions + mult;
+        walk mult 0 tl
+    | Prog.Sassign _ :: tl ->
+        flush mult pending;
+        walk mult 0 tl
+  and flush mult pending =
+    if pending > 0 then begin
+      block_mult.(!next_block) <- mult;
+      incr next_block
+    end
+  in
+  walk 1 0 prog.Prog.body;
+  (block_mult, !reductions)
+
+let zero_summary =
+  { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 }
+
+(* Cost of one block schedule for a single execution of the block —
+   the pipelining overlap windows and all per-message charges of
+   [analyze_plan], without the execution multiplier and without Obs
+   instrumentation (this runs in the planner's search loop). *)
+let sched_cost ~(machine : Machine.t) ~opts bs =
+  let alpha = machine.Machine.msg_latency_ns in
+  let beta = machine.Machine.byte_ns in
+  let total = ref zero_summary in
+  let window_of ~producer ~consumer =
+    let w = ref 0.0 in
+    for q = producer + 1 to consumer - 1 do
+      w := !w +. bs.b_costs.(q)
+    done;
+    !w
+  in
+  Array.iter
+    (List.iter (fun m ->
+         let raw = alpha +. (beta *. float_of_int m.m_bytes) in
+         let window = window_of ~producer:m.m_producer ~consumer:m.m_consumer in
+         let eff =
+           if opts.pipelining then max (0.25 *. alpha) (raw -. window) else raw
+         in
+         total :=
+           {
+             !total with
+             messages = !total.messages + 1;
+             bytes = !total.bytes + m.m_bytes;
+             raw_ns = !total.raw_ns +. raw;
+             effective_ns = !total.effective_ns +. eff;
+           }))
+    bs.b_steps;
+  !total
+
+let block_comm ~machine ~procs ~opts stmts bp =
+  if procs <= 1 then zero_summary
+  else sched_cost ~machine ~opts (block_sched_of ~machine ~procs ~opts stmts bp)
+
+let analyze_plan ~(machine : Machine.t) ~procs ~opts prog plan =
   Obs.span "comm-model" @@ fun () ->
-  if procs <= 1 then
-    { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 }
+  if procs <= 1 then zero_summary
   else begin
-    let prog = c.Compilers.Driver.prog in
-    let scheds = Array.of_list (schedule ~machine ~procs ~opts c) in
-    (* per-block execution multipliers + reduction executions, via the
-       same traversal order as Prog.blocks *)
-    let block_mult = Array.make (Array.length scheds) 0 in
-    let reductions = ref 0 in
-    let next_block = ref 0 in
-    let rec walk mult pending stmts =
-      match stmts with
-      | [] -> flush mult pending
-      | Prog.Astmt _ :: tl -> walk mult (pending + 1) tl
-      | Prog.Sloop { lo; hi; body; _ } :: tl ->
-          flush mult pending;
-          walk (mult * max 0 (hi - lo + 1)) 0 body;
-          walk mult 0 tl
-      | Prog.Reduce _ :: tl ->
-          flush mult pending;
-          reductions := !reductions + mult;
-          walk mult 0 tl
-      | Prog.Sassign _ :: tl ->
-          flush mult pending;
-          walk mult 0 tl
-    and flush mult pending =
-      if pending > 0 then begin
-        block_mult.(!next_block) <- mult;
-        incr next_block
-      end
-    in
-    walk 1 0 prog.Prog.body;
+    let scheds = Array.of_list (schedule_plan ~machine ~procs ~opts prog plan) in
+    let block_mult, reductions = block_multipliers prog in
+    let reductions = ref reductions in
     let alpha = machine.Machine.msg_latency_ns in
     let beta = machine.Machine.byte_ns in
-    let total = ref { messages = 0; bytes = 0; raw_ns = 0.0; effective_ns = 0.0; reduction_ns = 0.0 } in
+    let total = ref zero_summary in
     Array.iteri
       (fun bi bs ->
         let mult = block_mult.(bi) in
@@ -404,3 +451,7 @@ let analyze ~(machine : Machine.t) ~procs ~opts
     end;
     summary
   end
+
+let analyze ~machine ~procs ~opts (c : Compilers.Driver.compiled) =
+  analyze_plan ~machine ~procs ~opts c.Compilers.Driver.prog
+    c.Compilers.Driver.plan

@@ -87,6 +87,37 @@ val reduction_stages : int -> int
 (** Stages of the log₂ p reduction combining tree: ⌈log₂ procs⌉
     (0 for a single processor). *)
 
+val block_multipliers : Ir.Prog.t -> int array * int
+(** Per-block execution multipliers (how many times each basic block
+    runs, from the enclosing sequential loops; aligned with
+    [Ir.Prog.blocks]) and the total number of reduction executions.
+    Exposed for the fusion planner, whose cost model must weight blocks
+    the same way {!analyze} does. *)
+
+val block_comm :
+  machine:Machine.t ->
+  procs:int ->
+  opts:opts ->
+  Ir.Nstmt.t list ->
+  Sir.Scalarize.block_plan ->
+  summary
+(** Communication cost of {e one execution} of a single basic block
+    under a candidate fusion plan: the per-message charges of
+    {!analyze} without the execution multiplier, reduction trees or Obs
+    instrumentation.  This is the planner's per-state communication
+    oracle — cheap enough to call inside a partition search. *)
+
+val analyze_plan :
+  machine:Machine.t ->
+  procs:int ->
+  opts:opts ->
+  Ir.Prog.t ->
+  Sir.Scalarize.plan ->
+  summary
+(** {!analyze} on a bare (program, fusion plan) pair — the compiled
+    record's scalar code is never consulted, so a planner can cost a
+    candidate plan before committing to scalarization. *)
+
 val analyze :
   machine:Machine.t ->
   procs:int ->

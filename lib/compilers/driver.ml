@@ -199,6 +199,31 @@ let filter_reduce_read_candidates ctx p absorbed cands =
 
 let scalar_shapes xs = List.map (fun x -> (x, Core.Contraction.Scalar)) xs
 
+let decide_absorbed ctx block_idx p =
+  let absorbed =
+    Obs.span "reduction-fusion" (fun () -> decide_absorption ctx block_idx p)
+  in
+  if Obs.enabled () then
+    List.iter
+      (fun (ri, rep) ->
+        Obs.event (Obs.Reduction_absorbed { reduce = ri; cluster = rep }))
+      absorbed;
+  absorbed
+
+(* Everything downstream of the fusion decision: reduction absorption,
+   the reduce-read candidate filter, and the contraction decision —
+   shared by the level ladder and by [compile_custom]'s partitioner. *)
+let finish_plan ~absorb ctx block_idx p cands : Sir.Scalarize.block_plan =
+  let absorbed = if absorb then decide_absorbed ctx block_idx p else [] in
+  let cands = filter_reduce_read_candidates ctx p absorbed cands in
+  {
+    Sir.Scalarize.partition = p;
+    contracted =
+      Obs.span "contraction" (fun () ->
+          scalar_shapes (Core.Contraction.decide p ~candidates:cands));
+    absorbed;
+  }
+
 let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
     : Sir.Scalarize.block_plan =
   (* Reduction fusion belongs to the user-array strategies: f1/c1 only
@@ -218,27 +243,8 @@ let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
     Obs.span "fusion-locality" (fun () ->
         Core.Fusion.for_locality ?relax_flow ~may_fuse p)
   in
-  let decide_absorbed p =
-    let absorbed =
-      Obs.span "reduction-fusion" (fun () -> decide_absorption ctx block_idx p)
-    in
-    if Obs.enabled () then
-      List.iter
-        (fun (ri, rep) ->
-          Obs.event (Obs.Reduction_absorbed { reduce = ri; cluster = rep }))
-        absorbed;
-    absorbed
-  in
   let finish ?(absorb = reduction_fusion) p cands =
-    let absorbed = if absorb then decide_absorbed p else [] in
-    let cands = filter_reduce_read_candidates ctx p absorbed cands in
-    {
-      Sir.Scalarize.partition = p;
-      contracted =
-        Obs.span "contraction" (fun () ->
-            scalar_shapes (Core.Contraction.decide p ~candidates:cands));
-      absorbed;
-    }
+    finish_plan ~absorb ctx block_idx p cands
   in
   match level with
   | Baseline ->
@@ -268,7 +274,9 @@ let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
       (* extension: sequential fusion tolerating loop-carried flow, then
          contraction to the lowest sufficient rank *)
       let p = locality ~relax_flow:true (fuse_c all_cands) in
-      let absorbed = if reduction_fusion then decide_absorbed p else [] in
+      let absorbed =
+        if reduction_fusion then decide_absorbed ctx block_idx p else []
+      in
       let cands = filter_reduce_read_candidates ctx p absorbed all_cands in
       {
         Sir.Scalarize.partition = p;
@@ -278,7 +286,8 @@ let plan_block ?(reduction_fusion = true) ~level ~may_fuse ctx block_idx stmts
         absorbed;
       }
 
-let compile ?may_fuse ?reduction_fusion ~level prog =
+(* Validate, plan each block with [plan_of_block], scalarize. *)
+let compile_with ~level ~plan_of_block prog =
   Obs.span "compile" @@ fun () ->
   match Obs.span "check" (fun () -> Prog.validate prog) with
   | Error e ->
@@ -290,15 +299,7 @@ let compile ?may_fuse ?reduction_fusion ~level prog =
       let blocks = Prog.blocks prog in
       let plan =
         Obs.span "plan" (fun () ->
-            List.mapi
-              (fun bi stmts ->
-                let mf =
-                  match may_fuse with
-                  | None -> fun _ -> true
-                  | Some f -> fun ss -> f ~block:bi ss
-                in
-                plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
-              blocks)
+            List.mapi (fun bi stmts -> plan_of_block ctx bi stmts) blocks)
       in
       let code =
         Obs.span "scalarize" (fun () -> Sir.Scalarize.scalarize prog plan)
@@ -311,6 +312,23 @@ let compile ?may_fuse ?reduction_fusion ~level prog =
           code;
           contracted = Sir.Scalarize.contracted_of_plan plan;
         }
+
+let compile ?may_fuse ?reduction_fusion ~level prog =
+  compile_with ~level prog ~plan_of_block:(fun ctx bi stmts ->
+      let mf =
+        match may_fuse with
+        | None -> fun _ -> true
+        | Some f -> fun ss -> f ~block:bi ss
+      in
+      plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
+
+let compile_custom ?(reduction_fusion = true) ?(level = C2F3) ~partition prog =
+  compile_with ~level prog ~plan_of_block:(fun ctx bi stmts ->
+      let g = Obs.span "dependence" (fun () -> Core.Asdg.build stmts) in
+      let compiler_cands, user_cands = block_candidates ctx bi in
+      let p = partition ~block:bi ~compiler:compiler_cands ~user:user_cands g in
+      finish_plan ~absorb:reduction_fusion ctx bi p
+        (compiler_cands @ user_cands))
 
 let compile_exn ?may_fuse ?reduction_fusion ~level prog =
   match compile ?may_fuse ?reduction_fusion ~level prog with

@@ -59,6 +59,30 @@ val compile :
     [reduction-fusion] / [contraction], [scalarize]) plus the fusion
     and contraction counters and events. *)
 
+val compile_custom :
+  ?reduction_fusion:bool ->
+  ?level:level ->
+  partition:
+    (block:int ->
+    compiler:string list ->
+    user:string list ->
+    Core.Asdg.t ->
+    Core.Partition.t) ->
+  Ir.Prog.t ->
+  (compiled, Obs.Diagnostic.t) result
+(** The pipeline of {!compile} with the fixed level ladder replaced by
+    a caller-supplied fusion strategy: for each basic block the
+    [partition] callback receives the block index, the contraction
+    candidates split by array kind, and the freshly built ASDG, and
+    returns the fusion partition to compile (it must be a valid
+    Definition 5 partition of that ASDG — e.g. one grown through
+    [Core.Partition.check_merge]).  Everything downstream — reduction
+    absorption, the reduce-read candidate filter, the contraction
+    decision, scalarization — is the standard machinery, so results
+    are directly comparable with the built-in levels.  [level]
+    (default [C2F3]) only labels the result for reporting.  This is
+    the entry point of the search-based planner (lib/plan). *)
+
 val compile_exn :
   ?may_fuse:(block:int -> int list -> bool) ->
   ?reduction_fusion:bool ->

@@ -1,0 +1,87 @@
+(** The planner's unified cost model.
+
+    Scores a candidate fusion/contraction plan in one currency —
+    modeled nanoseconds on a target machine — so that the three forces
+    the paper keeps in separate figures (contraction benefit, cache
+    locality, communication) become directly comparable and a search
+    can optimize their sum.  For one basic block under a candidate
+    [Sir.Scalarize.block_plan]:
+
+    - {e reference cost}: every array element reference pays the L1
+      hit time; scalar-contracting an array removes its references
+      (the paper's reference weight, [Core.Weights], in ns);
+    - {e memory-system cost}: each fusible cluster's footprint is swept
+      through the target machine's cache hierarchy ([Cachesim]) at
+      line granularity — one interleaved unit-stride stream per
+      referenced array, contracted arrays excluded — and the measured
+      L1/L2 misses are charged at the machine's miss penalties.
+      Fusing two clusters that read the same array turns one of the
+      two sweeps into hits; over-fusing past the cache's associativity
+      surfaces as conflict misses (the paper's f4 pollution);
+    - {e communication cost}: [Comm.Model.block_comm] on the same
+      block plan — border exchanges after vectorization, redundancy
+      elimination, combining and pipelining.
+
+    Block costs are weighted by the block's execution multiplier
+    (enclosing sequential loops), matching [Comm.Model.analyze].
+    Per-cluster cache probes are memoized on (block, cluster
+    statement set, contracted arrays referenced), so a search that
+    reshuffles the same clusters re-pays nothing.
+
+    The model deliberately prices {e sweeps}, not absolute seconds:
+    each cluster is costed as if its working set starts uncached
+    (per-cluster compulsory misses), which is the regime the paper's
+    size-scaled experiments run in.  See docs/planner.md. *)
+
+type cfg = {
+  machine : Machine.t;
+  procs : int;
+  opts : Comm.Model.opts;
+}
+
+type breakdown = {
+  flop_ns : float;  (** arithmetic (plan-invariant; kept for absolute totals) *)
+  ref_ns : float;  (** element references × L1 hit time, after contraction *)
+  miss_ns : float;  (** modeled cache-miss penalties from the cluster sweeps *)
+  comm_ns : float;  (** effective communication time *)
+  total_ns : float;  (** the planner's objective: sum of the above *)
+  contracted_elems : int;
+      (** element references eliminated by scalar contraction
+          ([Core.Weights] currency; partial contractions count 0) *)
+}
+
+val zero : breakdown
+val add : breakdown -> breakdown -> breakdown
+
+type t
+(** A memoizing evaluator for one program on one machine
+    configuration. *)
+
+val create : cfg -> Ir.Prog.t -> t
+
+val cfg : t -> cfg
+val block_mult : t -> block:int -> int
+(** The block's execution multiplier (see
+    [Comm.Model.block_multipliers]). *)
+
+val block_weight : t -> block:int -> string -> int
+(** Reference weight of an array within the block: Σ references ×
+    region volume over the block's statements (equals
+    [Core.Weights.weight] on the block's ASDG). *)
+
+val lines_of_volume : t -> int -> int
+(** Cache lines one sweep of a region of the given element volume
+    touches on this machine's L1 geometry (≥ 1). *)
+
+val block_cost : t -> block:int -> Sir.Scalarize.block_plan -> breakdown
+(** Cost of the block under a candidate plan, scaled by the block's
+    execution multiplier.  Pure given [create]'s program: safe to call
+    from a search loop. *)
+
+val plan_cost : t -> Sir.Scalarize.plan -> breakdown
+(** Whole-program cost: block costs plus the reduction combining
+    trees (plan-invariant), as in [Comm.Model.analyze]. *)
+
+val compiled_cost : t -> Compilers.Driver.compiled -> breakdown
+(** [plan_cost] of a compiled configuration's plan — used to compare
+    the greedy ladder against the searched plan on equal terms. *)

@@ -1,0 +1,89 @@
+type block_report = {
+  block : int;
+  stats : Search.stats;
+}
+
+type provenance = {
+  strategy : string;
+  machine : string;
+  procs : int;
+  greedy_total_ns : float;
+  search_total_ns : float;
+  chosen_total_ns : float;
+  fallback : bool;
+  blocks : block_report list;
+}
+
+let compile ?(search = Search.default) ~cost prog =
+  match Compilers.Driver.compile ~level:Compilers.Driver.C2F3 prog with
+  | Error d -> Error d
+  | Ok greedy -> (
+      let reports = ref [] in
+      let searched =
+        Compilers.Driver.compile_custom ~level:Compilers.Driver.C2F3 prog
+          ~partition:(fun ~block ~compiler ~user g ->
+            let p, stats =
+              Search.block search cost ~block ~candidates:(compiler @ user) g
+            in
+            reports := { block; stats } :: !reports;
+            p)
+      in
+      match searched with
+      | Error d -> Error d
+      | Ok searched ->
+          let g_ns = (Cost.compiled_cost cost greedy).Cost.total_ns in
+          let s_ns = (Cost.compiled_cost cost searched).Cost.total_ns in
+          (* the block search could not see reduction absorption; keep
+             the searched plan only if it still prices no worse *)
+          let fallback = s_ns > g_ns +. search.Search.eps in
+          if fallback then Obs.count "plan.fallback-greedy" 1;
+          let chosen, strategy, chosen_ns =
+            if fallback then (greedy, "greedy", g_ns)
+            else (searched, "search", s_ns)
+          in
+          let c = Cost.cfg cost in
+          Ok
+            ( chosen,
+              {
+                strategy;
+                machine = c.Cost.machine.Machine.name;
+                procs = c.Cost.procs;
+                greedy_total_ns = g_ns;
+                search_total_ns = s_ns;
+                chosen_total_ns = chosen_ns;
+                fallback;
+                blocks =
+                  List.sort
+                    (fun a b -> compare a.block b.block)
+                    (List.rev !reports);
+              } ))
+
+let provenance_json p =
+  let open Obs.Json in
+  Obj
+    [
+      ("strategy", String p.strategy);
+      ("machine", String p.machine);
+      ("procs", Int p.procs);
+      ("greedy_total_ns", Float p.greedy_total_ns);
+      ("search_total_ns", Float p.search_total_ns);
+      ("chosen_total_ns", Float p.chosen_total_ns);
+      ("fallback", Bool p.fallback);
+      ( "blocks",
+        List
+          (List.map
+             (fun r ->
+               Obj
+                 [
+                   ("block", Int r.block);
+                   ("expanded", Int r.stats.Search.expanded);
+                   ("generated", Int r.stats.Search.generated);
+                   ("pruned", Int r.stats.Search.pruned);
+                   ("deduped", Int r.stats.Search.deduped);
+                   ("beam_rounds", Int r.stats.Search.beam_rounds);
+                   ("greedy_ns", Float r.stats.Search.greedy_ns);
+                   ("best_ns", Float r.stats.Search.best_ns);
+                   ("improved", Bool r.stats.Search.improved);
+                 ])
+             p.blocks) );
+    ]

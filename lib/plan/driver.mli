@@ -1,0 +1,46 @@
+(** The planner's front door: compile a program with the search-based
+    fusion/contraction strategy and report how it compares with the
+    paper's greedy ladder.
+
+    Compilation runs twice — the greedy [c2+f3] level, and
+    [Compilers.Driver.compile_custom] with {!Search.block} choosing
+    each block's partition — and both final plans (after reduction
+    absorption and the contraction decision, which the per-block
+    search cannot see) are priced with {!Cost.plan_cost}.  If the
+    searched whole-program plan prices worse than greedy's, the greedy
+    result is returned instead (counter ["plan.fallback-greedy"]):
+    the planner is never worse than the paper's algorithm under its
+    own model, by construction. *)
+
+type block_report = {
+  block : int;
+  stats : Search.stats;
+}
+
+type provenance = {
+  strategy : string;  (** ["search"] or ["greedy"] — the plan returned *)
+  machine : string;
+  procs : int;
+  greedy_total_ns : float;  (** whole-program cost of the greedy c2+f3 plan *)
+  search_total_ns : float;  (** whole-program cost of the searched plan *)
+  chosen_total_ns : float;
+  fallback : bool;
+      (** the searched plan was discarded for greedy (its per-block
+          wins did not survive reduction absorption) *)
+  blocks : block_report list;  (** per-block search outcomes, in block order *)
+}
+
+val compile :
+  ?search:Search.cfg ->
+  cost:Cost.t ->
+  Ir.Prog.t ->
+  (Compilers.Driver.compiled * provenance, Obs.Diagnostic.t) result
+(** [cost] must have been built with {!Cost.create} on the same
+    program (and carries the target machine / procs / comm options the
+    search optimizes for). *)
+
+val provenance_json : provenance -> Obs.Json.t
+(** Stable schema used by [zapc --stats] and the plan bench:
+    [{"strategy", "machine", "procs", "greedy_total_ns",
+    "search_total_ns", "chosen_total_ns", "fallback",
+    "blocks": [{"block", "expanded", ...}]}]. *)

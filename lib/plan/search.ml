@@ -1,0 +1,269 @@
+type cfg = {
+  max_states : int;
+  beam_width : int;
+  eps : float;
+}
+
+let default = { max_states = 4000; beam_width = 4; eps = 1e-6 }
+
+type stats = {
+  expanded : int;
+  generated : int;
+  pruned : int;
+  deduped : int;
+  beam_rounds : int;
+  greedy_ns : float;
+  best_ns : float;
+  improved : bool;
+}
+
+type state = {
+  p : Core.Partition.t;
+  key : string;
+  cost : Cost.breakdown;
+  bound : float;
+}
+
+(* Canonical state identity: the cluster-representative vector.  Two
+   partitions with the same vector are the same partition, so this
+   both memoizes and makes every tie-break deterministic. *)
+let key_of n p =
+  String.concat "."
+    (List.init n (fun i -> string_of_int (Core.Partition.cluster_of p i)))
+
+(* Admissible optimism: from state [p] a descendant can at best
+   (a) contract every remaining first-ref-is-write candidate — saving
+   its reference weight in L1 hits plus every sweep it still causes;
+   (b) fuse all clusters referencing an array down to one sweep; and
+   (c) lose the entire communication bill.  Overestimating the
+   achievable savings only weakens pruning, never correctness. *)
+let bound_of cost_t ~block ~candidates g p (bp : Sir.Scalarize.block_plan)
+    (cost : Cost.breakdown) =
+  let c = Cost.cfg cost_t in
+  let m = c.Cost.machine in
+  let mult = float_of_int (Cost.block_mult cost_t ~block) in
+  let contracted = List.map fst bp.Sir.Scalarize.contracted in
+  let miss_ub = m.Machine.l1_miss_ns +. m.Machine.l2_miss_ns in
+  let sweep_info x =
+    let refs = Core.Asdg.stmts_referencing g x in
+    let k =
+      List.length
+        (List.sort_uniq compare (List.map (Core.Partition.cluster_of p) refs))
+    in
+    let vol =
+      match refs with
+      | i :: _ -> Ir.Region.volume (Core.Asdg.stmt g i).Ir.Nstmt.region
+      | [] -> 0
+    in
+    (k, Cost.lines_of_volume cost_t vol)
+  in
+  let h_contract =
+    List.fold_left
+      (fun acc x ->
+        if List.mem x contracted then acc
+        else if not (Core.Partition.first_ref_is_write p x) then acc
+        else
+          let k, lines = sweep_info x in
+          acc
+          +. (float_of_int (Cost.block_weight cost_t ~block x)
+             *. m.Machine.l1_hit_ns)
+          +. (float_of_int (k * lines) *. miss_ub))
+      0.0 candidates
+  in
+  let h_locality =
+    List.fold_left
+      (fun acc x ->
+        if List.mem x contracted then acc
+        else
+          let k, lines = sweep_info x in
+          if k <= 1 then acc
+          else acc +. (float_of_int ((k - 1) * lines) *. miss_ub))
+      0.0 (Core.Asdg.vars g)
+  in
+  cost.Cost.total_ns
+  -. ((mult *. (h_contract +. h_locality)) +. cost.Cost.comm_ns)
+
+(* All legal merge moves from [p]: the Figure-3 array moves plus
+   pairwise cluster merges, each closed under GROW (so acyclicity is
+   preserved by construction) and vetted by check_merge. *)
+let moves g p =
+  let closure c =
+    let c = List.sort_uniq compare c in
+    List.sort_uniq compare (c @ Core.Partition.grow p c)
+  in
+  let array_moves =
+    List.filter_map
+      (fun x ->
+        let refs = Core.Asdg.stmts_referencing g x in
+        match
+          List.sort_uniq compare (List.map (Core.Partition.cluster_of p) refs)
+        with
+        | [] | [ _ ] -> None
+        | c -> Some (closure c))
+      (Core.Asdg.vars g)
+  in
+  let reps = List.map List.hd (Core.Partition.clusters p) in
+  let pair_moves =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 -> if r2 <= r1 then None else Some (closure [ r1; r2 ]))
+          reps)
+      reps
+  in
+  List.sort_uniq compare (array_moves @ pair_moves)
+  |> List.filter (fun c ->
+         List.length c > 1 && Core.Partition.check_merge p c = Ok ())
+
+module Frontier = Map.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let block ?(probe = fun (_ : Core.Partition.t) -> ()) cfg cost_t ~block
+    ~candidates g =
+  Obs.span "plan-search" @@ fun () ->
+  let n = Core.Asdg.n g in
+  let mk p =
+    probe p;
+    let contracted = Core.Contraction.decide p ~candidates in
+    let bp =
+      {
+        Sir.Scalarize.partition = p;
+        contracted = List.map (fun x -> (x, Core.Contraction.Scalar)) contracted;
+        absorbed = [];
+      }
+    in
+    let cost = Cost.block_cost cost_t ~block bp in
+    let bound = bound_of cost_t ~block ~candidates g p bp cost in
+    { p; key = key_of n p; cost; bound }
+  in
+  let expanded = ref 0
+  and generated = ref 0
+  and pruned = ref 0
+  and deduped = ref 0
+  and beam_rounds = ref 0 in
+  let cost_state p =
+    incr generated;
+    mk p
+  in
+  (* seeds: the trivial partition (search root) and the paper's greedy
+     c2+f3 result, which becomes the incumbent floor *)
+  let trivial = cost_state (Core.Partition.trivial g) in
+  let greedy_p =
+    Core.Fusion.for_locality (Core.Fusion.for_contraction ~candidates g)
+  in
+  let greedy =
+    if key_of n greedy_p = trivial.key then trivial else cost_state greedy_p
+  in
+  let incumbent =
+    ref
+      (if trivial.cost.Cost.total_ns < greedy.cost.Cost.total_ns -. cfg.eps
+       then trivial
+       else greedy)
+  in
+  let visited = Hashtbl.create 256 in
+  Hashtbl.replace visited trivial.key ();
+  Hashtbl.replace visited greedy.key ();
+  let tick = ref 0 in
+  let frontier = ref Frontier.empty in
+  let push st =
+    incr tick;
+    frontier := Frontier.add (st.bound, !tick) st !frontier
+  in
+  push trivial;
+  if greedy.key <> trivial.key then push greedy;
+  (* children of a state, deduplicated against everything seen *)
+  let children st =
+    List.filter_map
+      (fun c ->
+        let p' = Core.Partition.merge st.p c in
+        let key = key_of n p' in
+        if Hashtbl.mem visited key then begin
+          incr deduped;
+          None
+        end
+        else begin
+          Hashtbl.replace visited key ();
+          Some (cost_state p')
+        end)
+      (moves g st.p)
+  in
+  (* ---- branch and bound ------------------------------------------ *)
+  let budget_left () = !generated < cfg.max_states in
+  let exhausted = ref false in
+  while (not !exhausted) && (not (Frontier.is_empty !frontier)) && budget_left ()
+  do
+    let k, st = Frontier.min_binding !frontier in
+    frontier := Frontier.remove k !frontier;
+    if st.bound >= !incumbent.cost.Cost.total_ns -. cfg.eps then begin
+      (* best-first: every remaining bound is at least this one *)
+      pruned := !pruned + 1 + Frontier.cardinal !frontier;
+      frontier := Frontier.empty;
+      exhausted := true
+    end
+    else begin
+      incr expanded;
+      List.iter
+        (fun st' ->
+          if st'.cost.Cost.total_ns < !incumbent.cost.Cost.total_ns -. cfg.eps
+          then incumbent := st';
+          if st'.bound < !incumbent.cost.Cost.total_ns -. cfg.eps then push st'
+          else incr pruned)
+        (children st)
+    end
+  done;
+  (* ---- beam fallback --------------------------------------------- *)
+  if not (Frontier.is_empty !frontier) then begin
+    Obs.count "plan.beam-cutoffs" 1;
+    let by_cost a b =
+      compare (a.cost.Cost.total_ns, a.key) (b.cost.Cost.total_ns, b.key)
+    in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | x :: tl -> x :: take (k - 1) tl
+    in
+    let seeds =
+      Frontier.fold (fun _ st acc -> st :: acc) !frontier []
+      |> List.cons !incumbent |> List.sort by_cost
+      |> take cfg.beam_width
+    in
+    frontier := Frontier.empty;
+    let beam = ref seeds in
+    let continue = ref true in
+    (* a block of n statements admits at most n-1 merges from any
+       state, so n rounds always reach a fixpoint *)
+    while !continue && !beam_rounds < n && !generated < 4 * cfg.max_states do
+      incr beam_rounds;
+      let kids = List.concat_map children !beam in
+      List.iter
+        (fun st ->
+          if st.cost.Cost.total_ns < !incumbent.cost.Cost.total_ns -. cfg.eps
+          then incumbent := st)
+        kids;
+      match List.sort by_cost kids with
+      | [] -> continue := false
+      | sorted -> beam := take cfg.beam_width sorted
+    done
+  end;
+  if Obs.enabled () then begin
+    Obs.count "plan.nodes-expanded" !expanded;
+    Obs.count "plan.states-generated" !generated;
+    Obs.count "plan.nodes-pruned" !pruned;
+    Obs.count "plan.states-deduped" !deduped;
+    Obs.count "plan.beam-rounds" !beam_rounds
+  end;
+  let best = !incumbent in
+  ( best.p,
+    {
+      expanded = !expanded;
+      generated = !generated;
+      pruned = !pruned;
+      deduped = !deduped;
+      beam_rounds = !beam_rounds;
+      greedy_ns = greedy.cost.Cost.total_ns;
+      best_ns = best.cost.Cost.total_ns;
+      improved = best.cost.Cost.total_ns < greedy.cost.Cost.total_ns -. cfg.eps;
+    } )

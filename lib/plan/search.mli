@@ -1,0 +1,68 @@
+(** Search over fusion partitions (the planner's engine).
+
+    The paper's FUSION-FOR-CONTRACTION (Fig. 3) is a greedy pass in
+    decreasing reference-weight order, and §5.2 concedes it can miss
+    profitable partitions when candidates conflict.  This module
+    searches the partition space instead:
+
+    - {e states} are valid Definition 5 partitions by construction —
+      every move is a merge set vetted by [Core.Partition.check_merge],
+      closed under [Core.Partition.grow] so no inter-cluster cycle can
+      form;
+    - {e moves} are (a) the Figure-3 array moves (all clusters
+      referencing an array, grown), and (b) pairwise cluster merges
+      (grown), which reach the partial fusions the greedy all-or-
+      nothing per-array rule cannot;
+    - {e branch and bound}: states are expanded best-lower-bound-first;
+      the bound is admissible — current cost minus an optimistic
+      estimate of what is still winnable (remaining contractable
+      weight in ns, one-sweep-per-array cache floor, and the state's
+      entire communication bill), so the reported optimum is exact
+      whenever the search terminates within budget;
+    - {e memoization}: states are canonicalized by their cluster-
+      representative vector and never costed twice;
+    - {e beam fallback}: past [max_states] cost evaluations the search
+      degrades to a width-[beam_width] beam (large blocks — tomcatv,
+      SP — stay tractable, at the price of the optimality certificate).
+
+    The incumbent is seeded with the greedy [c2+f3] partition (fusion
+    for contraction + fusion for locality), so the result is {e never}
+    worse than the paper's algorithm under the cost model.  All
+    tie-breaks compare canonical keys, making the search fully
+    deterministic. *)
+
+type cfg = {
+  max_states : int;  (** cost evaluations before the beam fallback *)
+  beam_width : int;
+  eps : float;  (** ns tolerance below which costs count as equal *)
+}
+
+val default : cfg
+(** [{ max_states = 4000; beam_width = 4; eps = 1e-6 }] *)
+
+type stats = {
+  expanded : int;  (** states whose children were generated *)
+  generated : int;  (** states costed (including seeds) *)
+  pruned : int;  (** children discarded by the admissible bound *)
+  deduped : int;  (** children skipped as already-visited states *)
+  beam_rounds : int;  (** 0 when branch and bound completed in budget *)
+  greedy_ns : float;  (** block cost of the greedy c2+f3 partition *)
+  best_ns : float;  (** block cost of the returned partition *)
+  improved : bool;  (** [best_ns] strictly beats [greedy_ns] *)
+}
+
+val block :
+  ?probe:(Core.Partition.t -> unit) ->
+  cfg ->
+  Cost.t ->
+  block:int ->
+  candidates:string list ->
+  Core.Asdg.t ->
+  Core.Partition.t * stats
+(** Search the fusion partitions of one basic block.  [candidates]
+    are the block's contraction candidates (as handed to the greedy
+    fuser); the cost of a state is [Cost.block_cost] of the partition
+    with [Core.Contraction.decide]'s scalar contractions.  [probe] is
+    called on every state the search costs (tests use it to assert
+    Definition 5 validity of the whole explored space).  Emits
+    [plan.*] Obs counters and a ["plan-search"] span. *)

@@ -140,6 +140,76 @@ let test_level_spellings () =
         Alcotest.(check int) (l ^ " accepted") 0 code)
       [ "c2+f3"; "c2f3"; "C2+F4"; "c2p" ]
 
+(* Golden: the exact level ladder, paper spelling then internal, one
+   level per line. *)
+let test_list_levels () =
+  if available then begin
+    let code, out = run "--list-levels" in
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check string) "ladder"
+      "baseline baseline\n\
+       f1 f1\n\
+       c1 c1\n\
+       f2 f2\n\
+       f3 f3\n\
+       c2 c2\n\
+       c2+f3 c2f3\n\
+       c2+f4 c2f4\n\
+       c2+p c2p\n"
+      out
+  end
+
+(* --plan search: provenance lands in the stats JSON, the searched
+   cost never exceeds greedy's, and two runs emit identical plan
+   provenance (determinism satellite; span timings legitimately
+   differ, the plan must not). *)
+let test_plan_search_stats () =
+  if available then begin
+    let args = "--bench frac --tile 16 --plan search -m t3e -p 4 --stats json:-" in
+    let code, out = run args in
+    Alcotest.(check int) "exit 0" 0 code;
+    let j =
+      match Obs.Json.of_string (String.trim out) with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "stats not valid JSON (%s): %s" e out
+    in
+    let plan =
+      match Obs.Json.member "plan" j with
+      | Some p -> p
+      | None -> Alcotest.fail "no plan provenance in stats"
+    in
+    (match Obs.Json.member "strategy" plan with
+    | Some (Obs.Json.String ("search" | "greedy")) -> ()
+    | _ -> Alcotest.fail "plan.strategy missing");
+    (match
+       (Obs.Json.member "greedy_total_ns" plan,
+        Obs.Json.member "search_total_ns" plan)
+     with
+    | Some (Obs.Json.Float g), Some (Obs.Json.Float s) ->
+        Alcotest.(check bool) "search <= greedy" true (s <= g +. 1e-6)
+    | _ -> Alcotest.fail "plan totals missing");
+    (match Obs.Json.member "blocks" plan with
+    | Some (Obs.Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "plan.blocks missing");
+    let _, out2 = run args in
+    let plan_str j =
+      match Obs.Json.of_string (String.trim j) with
+      | Ok j -> (
+          match Obs.Json.member "plan" j with
+          | Some p -> Obs.Json.to_string p
+          | None -> "")
+      | Error _ -> ""
+    in
+    Alcotest.(check string) "identical provenance across runs"
+      (plan_str out) (plan_str out2)
+  end
+
+let test_bad_plan_fails () =
+  if available then begin
+    let code, _ = run "--bench ep --tile 16 --plan fastest" in
+    Alcotest.(check bool) "bad plan rejected" true (code <> 0)
+  end
+
 let test_bad_input_fails () =
   if available then begin
     let code, _ = run "--bench nosuch" in
@@ -158,6 +228,10 @@ let suites =
         Alcotest.test_case "file input + dump-c" `Quick test_file_input;
         Alcotest.test_case "stats json report" `Quick test_stats_json;
         Alcotest.test_case "level spellings" `Quick test_level_spellings;
+        Alcotest.test_case "list levels golden" `Quick test_list_levels;
+        Alcotest.test_case "plan search stats + determinism" `Slow
+          test_plan_search_stats;
+        Alcotest.test_case "bad plan rejected" `Quick test_bad_plan_fails;
         Alcotest.test_case "bad input" `Quick test_bad_input_fails;
       ] );
   ]

@@ -1,0 +1,227 @@
+(* The search-based planner (lib/plan): cost model sanity, search
+   validity/optimality properties on random ASDGs, and determinism of
+   the end-to-end planned compile. *)
+
+open Ir
+module Vec = Support.Vec
+
+let v = Vec.of_list
+let r44 = Region.of_bounds [ (1, 4); (1, 4) ]
+let names = [| "A"; "B"; "C"; "D"; "E" |]
+
+let mk_prog stmts =
+  {
+    Prog.name = "rand";
+    arrays =
+      Array.to_list names
+      |> List.map (fun n ->
+             {
+               Prog.name = n;
+               bounds = Region.of_bounds [ (0, 5); (0, 5) ];
+               kind = Prog.User;
+             });
+    scalars = [];
+    body = List.map (fun s -> Prog.Astmt s) stmts;
+    live_out = [];
+  }
+
+let cost_cfg =
+  { Plan.Cost.machine = Machine.t3e; procs = 1; opts = Comm.Model.all_on }
+
+let search_cfg =
+  { Plan.Search.default with Plan.Search.max_states = 200; beam_width = 2 }
+
+let all_candidates = Array.to_list names
+
+(* same random normal-form blocks as test_core's fusion properties *)
+let random_block_gen =
+  let open QCheck.Gen in
+  let off = int_range (-1) 1 in
+  let ref_gen =
+    map2
+      (fun n (a, b) -> Expr.Ref (names.(n), v [ a; b ]))
+      (int_range 0 4) (pair off off)
+  in
+  let expr_gen =
+    map2 (fun a b -> Expr.Binop (Expr.Add, a, b)) ref_gen ref_gen
+  in
+  list_size (int_range 1 8)
+    (map2 (fun n rhs -> (names.(n), rhs)) (int_range 0 4) expr_gen)
+
+let mk_block specs =
+  List.filter_map
+    (fun (lhs, rhs) ->
+      if List.mem lhs (Expr.ref_names rhs) then None
+      else Some (Nstmt.make ~region:r44 ~lhs rhs))
+    specs
+
+(* Every state the search costs — not just the returned one — must be
+   a valid Definition 5 partition: moves are vetted by check_merge and
+   closed under grow, so a violation here is a move-generator bug. *)
+let prop_search_states_valid =
+  QCheck.Test.make ~name:"every searched partition is valid" ~count:150
+    (QCheck.make random_block_gen)
+    (fun specs ->
+      match mk_block specs with
+      | [] -> true
+      | stmts ->
+          let g = Core.Asdg.build stmts in
+          let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+          let all_valid = ref true in
+          let probe p =
+            if not (Core.Partition.is_valid p) then all_valid := false
+          in
+          let _p, _stats =
+            Plan.Search.block ~probe search_cfg cost ~block:0
+              ~candidates:all_candidates g
+          in
+          !all_valid)
+
+(* The incumbent is seeded with greedy c2+f3, so the search result can
+   never price worse; and the returned partition's cost must be the
+   reported best. *)
+let prop_search_never_worse =
+  QCheck.Test.make ~name:"search cost <= greedy cost" ~count:150
+    (QCheck.make random_block_gen)
+    (fun specs ->
+      match mk_block specs with
+      | [] -> true
+      | stmts ->
+          let g = Core.Asdg.build stmts in
+          let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+          let _p, stats =
+            Plan.Search.block search_cfg cost ~block:0
+              ~candidates:all_candidates g
+          in
+          stats.Plan.Search.best_ns <= stats.Plan.Search.greedy_ns +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model sanity on a concrete block                               *)
+(* ------------------------------------------------------------------ *)
+
+(* producer/consumer pair: fusing and contracting the temporary must
+   strictly reduce the modeled cost *)
+let test_cost_prefers_contraction () =
+  let stmts =
+    [
+      Nstmt.make ~region:r44 ~lhs:"A" Expr.(Binop (Add, Ref ("B", v [ 0; 0 ]), Const 1.0));
+      Nstmt.make ~region:r44 ~lhs:"C" Expr.(Binop (Add, Ref ("A", v [ 0; 0 ]), Const 2.0));
+    ]
+  in
+  let g = Core.Asdg.build stmts in
+  let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+  let bp_of p contracted =
+    {
+      Sir.Scalarize.partition = p;
+      contracted = List.map (fun x -> (x, Core.Contraction.Scalar)) contracted;
+      absorbed = [];
+    }
+  in
+  let trivial = Core.Partition.trivial g in
+  let fused = Core.Partition.merge trivial [ 0; 1 ] in
+  let unfused_ns = (Plan.Cost.block_cost cost ~block:0 (bp_of trivial [])).Plan.Cost.total_ns in
+  let fused_ns = (Plan.Cost.block_cost cost ~block:0 (bp_of fused [ "A" ])).Plan.Cost.total_ns in
+  Alcotest.(check bool) "contraction pays" true (fused_ns < unfused_ns);
+  (* and the search finds exactly that plan *)
+  let p, stats =
+    Plan.Search.block search_cfg cost ~block:0 ~candidates:[ "A" ] g
+  in
+  Alcotest.(check int) "one cluster" 1 (Core.Partition.n_clusters p);
+  Alcotest.(check bool) "reported best is fused cost" true
+    (abs_float (stats.Plan.Search.best_ns -. fused_ns) < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end planned compiles on suite benchmarks                     *)
+(* ------------------------------------------------------------------ *)
+
+let planned_compile ?(machine = Machine.t3e) ?(procs = 16) name =
+  let b =
+    match Suite.by_name name with
+    | Some b -> b
+    | None -> Alcotest.failf "no bench %s" name
+  in
+  let prog = Suite.program ~tile:16 b in
+  let cost = Plan.Cost.create { Plan.Cost.machine; procs; opts = Comm.Model.all_on } prog in
+  match
+    Plan.Driver.compile
+      ~search:{ Plan.Search.default with Plan.Search.max_states = 600; beam_width = 2 }
+      ~cost prog
+  with
+  | Ok (c, prov) -> (prog, c, prov)
+  | Error d -> Alcotest.failf "plan compile failed: %s" (Obs.Diagnostic.to_string d)
+
+let test_simple_search_wins () =
+  let _prog, c, prov = planned_compile "simple" in
+  Alcotest.(check bool) "search no worse" true
+    (prov.Plan.Driver.search_total_ns
+    <= prov.Plan.Driver.greedy_total_ns +. 1e-6);
+  (* on simple @ t3e x16 the searched plan strictly beats greedy (the
+     paper's §5.2 conflict); locks in the planner's reason to exist *)
+  Alcotest.(check bool) "search strictly better" true
+    (prov.Plan.Driver.search_total_ns
+    < prov.Plan.Driver.greedy_total_ns -. 1e-6);
+  Alcotest.(check string) "searched plan chosen" "search"
+    prov.Plan.Driver.strategy;
+  (* same observable program: the searched plan only reshuffles loops *)
+  let greedy =
+    match Compilers.Driver.compile ~level:Compilers.Driver.C2F3
+            (let b = Option.get (Suite.by_name "simple") in
+             Suite.program ~tile:16 b)
+    with
+    | Ok g -> g
+    | Error d -> Alcotest.failf "greedy compile failed: %s" (Obs.Diagnostic.to_string d)
+  in
+  Alcotest.(check string) "checksum matches greedy"
+    (Exec.Interp.checksum (Exec.Interp.run greedy.Compilers.Driver.code))
+    (Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code))
+
+let plan_fingerprint (c : Compilers.Driver.compiled) =
+  String.concat ";"
+    (List.map
+       (fun (bp : Sir.Scalarize.block_plan) ->
+         String.concat "|"
+           (List.map
+              (fun cl -> String.concat "," (List.map string_of_int cl))
+              (Core.Partition.clusters bp.Sir.Scalarize.partition))
+         ^ "/"
+         ^ String.concat "," (List.map fst bp.Sir.Scalarize.contracted))
+       c.Compilers.Driver.plan)
+
+(* tie costs are broken on canonical cluster keys: two runs must agree
+   bit-for-bit, plans and provenance JSON alike *)
+let test_deterministic () =
+  let run () =
+    let _prog, c, prov = planned_compile ~procs:4 "sp" in
+    (plan_fingerprint c, Obs.Json.to_string (Plan.Driver.provenance_json prov))
+  in
+  let f1, j1 = run () in
+  let f2, j2 = run () in
+  Alcotest.(check string) "same plan" f1 f2;
+  Alcotest.(check string) "same provenance JSON" j1 j2
+
+let test_never_worse_across_suite () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let _prog, _c, prov = planned_compile b.Suite.name in
+      Alcotest.(check bool)
+        (b.Suite.name ^ " search no worse") true
+        (prov.Plan.Driver.chosen_total_ns
+        <= prov.Plan.Driver.greedy_total_ns +. 1e-6))
+    Suite.all
+
+let suites =
+  [
+    ( "plan",
+      [
+        Alcotest.test_case "cost prefers contraction" `Quick
+          test_cost_prefers_contraction;
+        Alcotest.test_case "simple: search beats greedy, checksum equal" `Slow
+          test_simple_search_wins;
+        Alcotest.test_case "deterministic plans and provenance" `Slow
+          test_deterministic;
+        Alcotest.test_case "search never worse across suite" `Slow
+          test_never_worse_across_suite;
+        QCheck_alcotest.to_alcotest prop_search_states_valid;
+        QCheck_alcotest.to_alcotest prop_search_never_worse;
+      ] );
+  ]
