@@ -1,0 +1,59 @@
+(* Differential-fuzzing smoke: a fixed-seed slice of the zapc --fuzz
+   campaign, sized for CI.  Every generated program must produce the
+   same live-out digest on every executor (see Fuzz.Oracle); any
+   divergence prints the oracle report plus a self-contained repro and
+   fails the bench (exit 1).
+
+   The seed is pinned, so a run is bit-reproducible: a failure here is
+   a regression, never flakiness.  With --json the section emits one
+   row per case (digest, backends checked, skips) — a committed run
+   diffs clean when nothing changed. *)
+
+let seed = 1L
+let budget () = if !Harness.tiny_mode then 25 else 150
+
+let row_json case (p : Ir.Prog.t) (r : Fuzz.Oracle.report) =
+  Obs.Json.Obj
+    [
+      ("case", Obs.Json.Int case);
+      ("program", Obs.Json.String p.Ir.Prog.name);
+      ( "digest",
+        Obs.Json.String (Option.value r.Fuzz.Oracle.reference ~default:"CRASH") );
+      ("backends", Obs.Json.Int (List.length r.Fuzz.Oracle.results));
+      ("skipped", Obs.Json.Int (List.length (Fuzz.Oracle.skips r)));
+      ("ok", Obs.Json.Bool (Fuzz.Oracle.ok r));
+    ]
+
+let section () =
+  let n = budget () in
+  if not !Harness.json_mode then
+    Harness.heading
+      (Printf.sprintf
+         "Differential fuzz smoke: %d seeded programs through every executor"
+         n);
+  let rng = Support.Prng.create seed in
+  let failures = ref 0 and skips = ref 0 and backends = ref 0 in
+  for case = 1 to n do
+    let p = Fuzz.Gen.generate (Support.Prng.split rng) in
+    let r = Fuzz.Oracle.run p in
+    backends := !backends + List.length r.Fuzz.Oracle.results;
+    skips := !skips + List.length (Fuzz.Oracle.skips r);
+    if !Harness.json_mode then
+      Harness.json_row
+        [
+          ("section", Obs.Json.String "fuzz");
+          ("row", row_json case p r);
+        ];
+    if not (Fuzz.Oracle.ok r) then begin
+      incr failures;
+      Printf.eprintf "fuzz smoke: case %d diverged\n%s\nrepro:\n%s\n" case
+        (Fuzz.Oracle.to_string r)
+        (Fuzz.Repro.to_string
+           ~comment:(Printf.sprintf "bench fuzz smoke, seed %Ld case %d" seed case)
+           p)
+    end
+  done;
+  if not !Harness.json_mode then
+    Harness.row "%d cases, %d backend runs (%d skipped), %d divergences\n" n
+      !backends !skips !failures;
+  if !failures > 0 then exit 1

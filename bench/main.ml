@@ -72,6 +72,7 @@ let sections =
     ("ablate", Figures.ablate);
     ("spmd", Spmd_agree.section);
     ("plan", Plan_gap.section);
+    ("fuzz", Fuzz_smoke.section);
     ("speed", optimizer_speed);
   ]
 

@@ -260,6 +260,67 @@ let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
     | exception Spmd.Runtime_error msg -> Error (Diag.error ~phase:"spmd" msg)
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing (--fuzz)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate N random programs from --seed and push each through every
+   executor (see Fuzz.Oracle).  A diverging case is shrunk and written
+   to --fuzz-out as a self-contained repro; any failure makes the run
+   exit nonzero. *)
+let run_fuzz ~n ~seed ~out ~machine =
+  let* machine = parse_machine machine in
+  let cfg = { Fuzz.Oracle.default with Fuzz.Oracle.machine } in
+  let* () =
+    if Sys.file_exists out then
+      if Sys.is_directory out then Ok ()
+      else Error (Diag.errorf ~phase:"fuzz" "--fuzz-out %s is not a directory" out)
+    else
+      match Sys.mkdir out 0o755 with
+      | () -> Ok ()
+      | exception Sys_error m -> Error (Diag.error ~phase:"fuzz" m)
+  in
+  let rng = Support.Prng.create (Int64.of_int seed) in
+  let failures = ref 0 and skipped = ref 0 in
+  for case = 1 to n do
+    let p = Fuzz.Gen.generate (Support.Prng.split rng) in
+    let r = Fuzz.Oracle.run ~cfg p in
+    skipped := !skipped + List.length (Fuzz.Oracle.skips r);
+    if not (Fuzz.Oracle.ok r) then begin
+      incr failures;
+      Printf.printf "case %d/%d (seed %d) DIVERGED:\n%s\n" case n seed
+        (Fuzz.Oracle.to_string r);
+      let fcfg = Fuzz.Oracle.focus r cfg in
+      let still_fails q = not (Fuzz.Oracle.ok (Fuzz.Oracle.run ~cfg:fcfg q)) in
+      let small = Fuzz.Shrink.run ~check:still_fails p in
+      let final = Fuzz.Oracle.run ~cfg small in
+      let backends =
+        String.concat ", " (List.map fst (Fuzz.Oracle.divergences final))
+      in
+      let path =
+        Filename.concat out (Printf.sprintf "fuzz-seed%d-case%d.zir" seed case)
+      in
+      let comment =
+        Printf.sprintf "zapc --fuzz: seed %d case %d\ndiverging: %s" seed case
+          backends
+      in
+      Fuzz.Repro.save ~path ~comment small;
+      Printf.printf "shrunk repro written to %s (diverging: %s)\n%s\n" path
+        backends
+        (Fuzz.Oracle.to_string final)
+    end
+  done;
+  Printf.printf "fuzz: %d cases, seed %d: %d divergence%s%s\n" n seed !failures
+    (if !failures = 1 then "" else "s")
+    (if !skipped > 0 then
+       Printf.sprintf " (%d backend runs skipped)" !skipped
+     else "");
+  if !failures = 0 then Ok ()
+  else
+    Error
+      (Diag.errorf ~phase:"fuzz" "%d of %d cases diverged (repros in %s)"
+         !failures n out)
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -274,10 +335,14 @@ let list_levels () =
     (Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ])
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
-    dump_c emit_c run machine procs spmd trace stats plan list_levels_f =
+    dump_c emit_c run machine procs spmd trace stats plan list_levels_f fuzz
+    seed fuzz_out =
   let result =
     if list_levels_f then Ok (list_levels ())
     else
+    match fuzz with
+    | Some n -> run_fuzz ~n ~seed ~out:fuzz_out ~machine
+    | None ->
     let* stats = parse_stats stats in
     let recorder =
       if trace || stats <> None then
@@ -506,6 +571,32 @@ let list_levels_arg =
           "Print the optimization-level ladder (paper spelling, then the \
            internal plus-free spelling, one level per line) and exit.")
 
+let fuzz_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuzz" ] ~docv:"N"
+        ~doc:
+          "Differential fuzzing: generate $(docv) random programs from \
+           $(b,--seed) and run each through the reference interpreter, \
+           every optimization level, the search planner, the SPMD engine \
+           and (when $(b,cc) is installed) the emitted C, comparing result \
+           digests.  Diverging cases are shrunk and written to \
+           $(b,--fuzz-out) as self-contained repros; exits nonzero if any \
+           case diverges.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"PRNG seed for $(b,--fuzz); same seed, same programs.")
+
+let fuzz_out_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "fuzz-out" ] ~docv:"DIR"
+        ~doc:"Directory for shrunk $(b,--fuzz) repros (created if missing).")
+
 let cmd =
   let doc =
     "array-level fusion and contraction compiler (PLDI'98 reproduction)"
@@ -517,6 +608,7 @@ let cmd =
         (const main $ bench_arg $ file_arg $ level_arg $ config_arg
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
-       $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg))
+       $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
+       $ fuzz_arg $ seed_arg $ fuzz_out_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -193,8 +193,14 @@ module Digest = struct
 
   let empty = 0L
 
+  (* Every NaN hashes as the canonical quiet NaN: payloads are not
+     semantically observable and legitimately differ between backends
+     (OCaml's [**] and libm's pow produce different NaN bit patterns),
+     so mixing raw bits would flag false divergences. *)
+  let canonical_nan = 0x7FF8000000000000L
+
   let mix d v =
-    let bits = Int64.bits_of_float v in
+    let bits = if v <> v then canonical_nan else Int64.bits_of_float v in
     Int64.add (Int64.mul d 6364136223846793005L)
       (Int64.logxor bits 1442695040888963407L)
 

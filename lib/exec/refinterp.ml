@@ -51,8 +51,15 @@ let rec eval r idx (e : Expr.t) : float =
   match e with
   | Expr.Const f -> f
   | Expr.Svar s -> get_scalar_tbl r s
-  | Expr.Idx i -> float_of_int idx.(i - 1)
+  | Expr.Idx i ->
+      if i < 1 || i > Array.length idx then
+        err "idx%d read outside a rank-%d iteration context" i
+          (Array.length idx);
+      float_of_int idx.(i - 1)
   | Expr.Ref (x, d) ->
+      if Array.length idx <> Support.Vec.rank d then
+        err "array %s referenced in a rank-%d context (offset rank %d)" x
+          (Array.length idx) (Support.Vec.rank d);
       let a = find_arr r x in
       let shifted = Array.init (Array.length idx) (fun k -> idx.(k) + d.(k)) in
       a.data.(flat x a shifted)
@@ -83,8 +90,8 @@ let red_init : Prog.redop -> float = function
 let red_apply : Prog.redop -> float -> float -> float = function
   | Prog.Rsum -> ( +. )
   | Prog.Rprod -> ( *. )
-  | Prog.Rmin -> min
-  | Prog.Rmax -> max
+  | Prog.Rmin -> Expr.fmin
+  | Prog.Rmax -> Expr.fmax
 
 let rec exec r (s : Prog.stmt) =
   match s with

@@ -1,0 +1,235 @@
+(* Seeded random-program generator.
+
+   Promotes the ad-hoc generator of test/test_compile.ml into a
+   reusable, deterministic component: driven entirely by
+   [Support.Prng] (so a seed fully determines the program stream,
+   independent of any global Random state), covering regions up to
+   rank 3, `@` offsets on reads and writes, reductions over all four
+   operators, sequential loops, scalar assignments, Select, and — when
+   [nan_ops] is on — the operations that produce NaN and infinities
+   (Div, Pow, Log, Sqrt).  Every returned program passes
+   [Ir.Prog.validate] by construction. *)
+
+open Ir
+
+type cfg = {
+  max_rank : int;  (** region ranks drawn from 1..max_rank (≤ 3) *)
+  max_stmts : int;  (** top-level statement budget *)
+  max_depth : int;  (** expression tree depth *)
+  nan_ops : bool;  (** include Div/Pow/Log/Sqrt in the op pools *)
+  offsets : bool;  (** allow @ offsets on references and targets *)
+  reductions : bool;
+  loops : bool;
+  selects : bool;
+}
+
+let default =
+  {
+    max_rank = 3;
+    max_stmts = 7;
+    max_depth = 3;
+    nan_ops = true;
+    offsets = true;
+    reductions = true;
+    loops = true;
+    selects = true;
+  }
+
+let pick rng a = a.(Support.Prng.next_int rng (Array.length a))
+let chance rng pct = Support.Prng.next_int rng 100 < pct
+
+let user_names = [| "A"; "B"; "C"; "D" |]
+let temp_names = [| "T1"; "T2" |]
+let all_names = Array.append user_names temp_names
+
+(* tile edge by rank: keeps rank-3 volumes comparable to rank-1 *)
+let edge = function 1 -> 8 | 2 -> 4 | _ -> 3
+
+(* Mix round values (which hit the 0/0, 0*inf, 0^0 corners) with
+   full-precision doubles (which exercise digest bit-exactness). *)
+let const_pool = [| 0.0; 1.0; -1.0; 2.0; 0.5; -0.5; 3.0; -2.0 |]
+
+let gen_const rng =
+  if chance rng 50 then pick rng const_pool
+  else (Support.Prng.next_float rng -. 0.5) *. 8.0
+
+let gen_off cfg rng rank =
+  if cfg.offsets && chance rng 60 then
+    Support.Vec.of_list
+      (List.init rank (fun _ -> Support.Prng.next_int rng 3 - 1))
+  else Support.Vec.zero rank
+
+let unops_safe = Expr.[| Neg; Abs; Floor; Sin; Cos; Exp; Not; Hashrand |]
+let unops_nan = Expr.[| Sqrt; Log |]
+let binops_safe = Expr.[| Add; Sub; Mul; Min; Max; Lt; Le; And |]
+let binops_nan = Expr.[| Div; Pow |]
+let cmps = Expr.[| Lt; Le; Gt; Ge |]
+
+let gen_unop cfg rng =
+  if cfg.nan_ops && chance rng 30 then pick rng unops_nan
+  else pick rng unops_safe
+
+let gen_binop cfg rng =
+  if cfg.nan_ops && chance rng 30 then pick rng binops_nan
+  else pick rng binops_safe
+
+(* Expression in array context: may reference arrays and indices. *)
+let rec gen_expr cfg rng ~rank ~scope depth =
+  if depth <= 0 || chance rng 25 then gen_leaf cfg rng ~rank ~scope
+  else
+    let k = Support.Prng.next_int rng 100 in
+    if k < 25 then
+      Expr.Unop (gen_unop cfg rng, gen_expr cfg rng ~rank ~scope (depth - 1))
+    else if k < 80 || not cfg.selects then
+      Expr.Binop
+        ( gen_binop cfg rng,
+          gen_expr cfg rng ~rank ~scope (depth - 1),
+          gen_expr cfg rng ~rank ~scope (depth - 1) )
+    else
+      let c =
+        Expr.Binop
+          ( pick rng cmps,
+            gen_expr cfg rng ~rank ~scope (depth - 1),
+            gen_expr cfg rng ~rank ~scope (depth - 1) )
+      in
+      Expr.Select
+        ( c,
+          gen_expr cfg rng ~rank ~scope (depth - 1),
+          gen_expr cfg rng ~rank ~scope (depth - 1) )
+
+and gen_leaf cfg rng ~rank ~scope =
+  let k = Support.Prng.next_int rng 100 in
+  if k < 50 then Expr.Ref (pick rng all_names, gen_off cfg rng rank)
+  else if k < 65 && scope <> [] then
+    Expr.Svar (List.nth scope (Support.Prng.next_int rng (List.length scope)))
+  else if k < 85 then Expr.Const (gen_const rng)
+  else Expr.Idx (1 + Support.Prng.next_int rng rank)
+
+(* Expression in scalar context: no arrays, no region indices
+   (Prog.validate rejects both). *)
+let rec gen_sexpr cfg rng ~scope depth =
+  if depth <= 0 || chance rng 35 then
+    if scope <> [] && chance rng 50 then
+      Expr.Svar (List.nth scope (Support.Prng.next_int rng (List.length scope)))
+    else Expr.Const (gen_const rng)
+  else if chance rng 30 then
+    Expr.Unop (gen_unop cfg rng, gen_sexpr cfg rng ~scope (depth - 1))
+  else
+    Expr.Binop
+      ( gen_binop cfg rng,
+        gen_sexpr cfg rng ~scope (depth - 1),
+        gen_sexpr cfg rng ~scope (depth - 1) )
+
+let interior rank =
+  let n = edge rank in
+  Region.of_bounds (List.init rank (fun _ -> (1, n)))
+
+let gen_region cfg rng rank =
+  ignore cfg;
+  let n = edge rank in
+  if chance rng 70 then interior rank
+  else
+    Region.of_bounds
+      (List.init rank (fun _ ->
+           let lo = 1 + Support.Prng.next_int rng n in
+           let hi = lo + Support.Prng.next_int rng (n - lo + 1) in
+           (lo, hi)))
+
+let gen_astmt cfg rng ~rank ~scope =
+  let rec try_rhs attempts =
+    let rhs = gen_expr cfg rng ~rank ~scope cfg.max_depth in
+    let reads = Expr.ref_names rhs in
+    let candidates =
+      Array.to_list all_names |> List.filter (fun x -> not (List.mem x reads))
+    in
+    match candidates with
+    | [] when attempts > 0 -> try_rhs (attempts - 1)
+    | [] -> (Expr.Const 1.0, Array.to_list all_names)
+    | cs -> (rhs, cs)
+  in
+  let rhs, candidates = try_rhs 5 in
+  let lhs = List.nth candidates (Support.Prng.next_int rng (List.length candidates)) in
+  let lhs_off =
+    if cfg.offsets && chance rng 20 then gen_off cfg rng rank
+    else Support.Vec.zero rank
+  in
+  Prog.Astmt (Nstmt.make ~region:(gen_region cfg rng rank) ~lhs ~lhs_off rhs)
+
+let redops = Prog.[| Rsum; Rprod; Rmin; Rmax |]
+let red_targets = [| "s"; "u" |]
+
+let gen_reduce cfg rng ~rank ~scope =
+  let target = pick rng red_targets in
+  (* the accumulator may not appear in its own argument (ill-formed:
+     Prog.validate rejects the self-read) *)
+  let scope = List.filter (fun s -> s <> target) scope in
+  Prog.Reduce
+    {
+      target;
+      op = pick rng redops;
+      region = gen_region cfg rng rank;
+      arg = gen_expr cfg rng ~rank ~scope 2;
+    }
+
+let gen_sassign cfg rng ~scope =
+  let target = if chance rng 70 then pick rng red_targets else "k" in
+  Prog.Sassign (target, gen_sexpr cfg rng ~scope 2)
+
+let rec gen_stmt cfg rng ~rank ~scope ~in_loop =
+  let k = Support.Prng.next_int rng 100 in
+  if cfg.loops && (not in_loop) && k >= 80 then
+    let trips = 1 + Support.Prng.next_int rng 3 in
+    let scope = "t" :: scope in
+    let n = 1 + Support.Prng.next_int rng 3 in
+    Prog.Sloop
+      {
+        var = "t";
+        lo = 1;
+        hi = trips;
+        body = List.init n (fun _ -> gen_stmt cfg rng ~rank ~scope ~in_loop:true);
+      }
+  else if cfg.reductions && k >= 65 && k < 80 then gen_reduce cfg rng ~rank ~scope
+  else if k >= 55 && k < 65 then gen_sassign cfg rng ~scope
+  else gen_astmt cfg rng ~rank ~scope
+
+let gen_live_out rng =
+  let live = ref [] in
+  Array.iter
+    (fun x -> if chance rng 50 then live := x :: !live)
+    user_names;
+  if chance rng 50 then live := "s" :: !live;
+  if chance rng 30 then live := "u" :: !live;
+  match List.rev !live with [] -> [ "A" ] | l -> l
+
+let gen_once cfg rng =
+  let rank = 1 + Support.Prng.next_int rng (min 3 (max 1 cfg.max_rank)) in
+  let n = edge rank in
+  let bounds = Region.of_bounds (List.init rank (fun _ -> (0, n + 1))) in
+  let arrays =
+    (Array.to_list user_names
+    |> List.map (fun name -> { Prog.name; bounds; kind = Prog.User }))
+    @ (Array.to_list temp_names
+      |> List.map (fun name -> { Prog.name; bounds; kind = Prog.Compiler }))
+  in
+  let scope = [ "k"; "s"; "u" ] in
+  let n_stmts = 2 + Support.Prng.next_int rng (max 1 cfg.max_stmts) in
+  let body =
+    List.init n_stmts (fun _ -> gen_stmt cfg rng ~rank ~scope ~in_loop:false)
+  in
+  {
+    Prog.name = "fuzz";
+    arrays;
+    scalars = [ ("k", gen_const rng); ("s", 0.0); ("u", 0.0) ];
+    body;
+    live_out = gen_live_out rng;
+  }
+
+let generate ?(cfg = default) rng =
+  let rec go attempts =
+    if attempts = 0 then
+      failwith "Fuzz.Gen.generate: no valid program in 50 attempts"
+    else
+      let p = gen_once cfg rng in
+      match Prog.validate p with Ok () -> p | Error _ -> go (attempts - 1)
+  in
+  go 50

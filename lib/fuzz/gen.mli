@@ -1,0 +1,26 @@
+(** Seeded, deterministic random-program generator.
+
+    The differential oracle's input source: array programs over
+    regions of rank 1–3 with [@] offsets on reads and writes,
+    reductions over all four operators, sequential loops, scalar
+    assignments, [Select], and (by default) the NaN-producing
+    operations Div, Pow, Log and Sqrt.  The stream is a pure function
+    of the {!Support.Prng} state — no global [Random] involved — so a
+    seed names a reproducible program forever. *)
+
+type cfg = {
+  max_rank : int;  (** region ranks drawn from 1..max_rank (≤ 3) *)
+  max_stmts : int;  (** top-level statement budget *)
+  max_depth : int;  (** expression tree depth *)
+  nan_ops : bool;  (** include Div/Pow/Log/Sqrt in the op pools *)
+  offsets : bool;  (** allow @ offsets on references and targets *)
+  reductions : bool;
+  loops : bool;
+  selects : bool;
+}
+
+val default : cfg
+
+val generate : ?cfg:cfg -> Support.Prng.t -> Ir.Prog.t
+(** Draw the next program from the stream.  The result always passes
+    [Ir.Prog.validate]. *)

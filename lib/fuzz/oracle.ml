@@ -1,0 +1,268 @@
+(* The differential oracle: every way this repo can execute a program
+   must produce the same live-out checksum.
+
+   The reference is Exec.Refinterp (array semantics, no optimization).
+   Against it we hold:
+     - Exec.Interp on the code of every greedy optimization level
+       (the paper ladder base..c2+f4, plus the c2+p extension);
+     - the search-based planner (zapc --plan search);
+     - the SPMD engine on 1/4/16 simulated processors;
+     - when a C compiler is present, the Sir.Emit_c translation unit,
+       compiled and executed natively.
+
+   Checksums go through Interp.Digest, which canonicalizes NaN
+   payloads — a payload difference between OCaml's ** and libm's pow
+   is not a semantic divergence.  SPMD configurations outside the
+   engine's domain (halo deeper than a chunk) are Skipped, not
+   failures; everything else that does not reproduce the reference
+   checksum — including any exception out of a backend — is a
+   divergence. *)
+
+type status =
+  | Agree
+  | Diverged of { expected : string; got : string }
+  | Crashed of string
+  | Skipped of string
+
+type report = {
+  reference : string option;  (** refinterp checksum; None = it crashed *)
+  results : (string * status) list;
+}
+
+type cfg = {
+  levels : Compilers.Driver.level list;
+  planner : bool;
+  plan_procs : int;
+  spmd_level : Compilers.Driver.level;
+  spmd_procs : int list;
+  native : bool;
+  native_levels : Compilers.Driver.level list;
+  machine : Machine.t;
+}
+
+let default =
+  {
+    levels = Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ];
+    planner = true;
+    plan_procs = 4;
+    spmd_level = Compilers.Driver.C2F3;
+    spmd_procs = [ 1; 4; 16 ];
+    native = true;
+    native_levels = Compilers.Driver.[ Baseline; C2F3 ];
+    machine = Machine.t3e;
+  }
+
+let cc_available = lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Native execution of the emitted C                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* -fno-builtin keeps the compiler from constant-folding libm calls
+   (its compile-time evaluation may differ from the runtime libm the
+   interpreters share by an ulp); -ffp-contract=off forbids fusing
+   a*b+c into fma, which changes results on fma hardware. *)
+let cc_cmd = "cc -O2 -fno-builtin -ffp-contract=off"
+
+let run_native (code : Sir.Code.program) =
+  let dir = Filename.temp_file "zapfuzz" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let c_path = Filename.concat dir "prog.c" in
+  let exe_path = Filename.concat dir "prog" in
+  let out_path = Filename.concat dir "out" in
+  let err_path = Filename.concat dir "cerr" in
+  let cleanup () =
+    List.iter
+      (fun f -> try Sys.remove f with Sys_error _ -> ())
+      [ c_path; exe_path; out_path; err_path ];
+    try Sys.rmdir dir with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let oc = open_out c_path in
+  output_string oc (Sir.Emit_c.to_string code);
+  close_out oc;
+  let compile =
+    Printf.sprintf "%s -o %s %s -lm 2> %s" cc_cmd (Filename.quote exe_path)
+      (Filename.quote c_path) (Filename.quote err_path)
+  in
+  if Sys.command compile <> 0 then begin
+    let ic = open_in err_path in
+    let err = really_input_string ic (min 500 (in_channel_length ic)) in
+    close_in ic;
+    Error (Printf.sprintf "cc failed: %s" (String.trim err))
+  end
+  else if
+    Sys.command
+      (Printf.sprintf "%s > %s" (Filename.quote exe_path)
+         (Filename.quote out_path))
+    <> 0
+  then Error "compiled program crashed"
+  else begin
+    let ic = open_in out_path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    Ok (String.trim line)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compile_result ~level prog =
+  match Compilers.Driver.compile ~level prog with
+  | Ok c -> Ok c
+  | Error d -> Error ("compile: " ^ Obs.Diagnostic.to_string d)
+  | exception e -> Error ("compile: " ^ Printexc.to_string e)
+
+let run ?(cfg = default) prog =
+  match Exec.Refinterp.run prog with
+  | exception Exec.Refinterp.Runtime_error m ->
+      { reference = None; results = [ ("refinterp", Crashed m) ] }
+  | exception e ->
+      { reference = None; results = [ ("refinterp", Crashed (Printexc.to_string e)) ] }
+  | reference -> (
+      match Exec.Refinterp.checksum reference with
+      | exception e ->
+          {
+            reference = None;
+            results = [ ("refinterp", Crashed (Printexc.to_string e)) ];
+          }
+      | want ->
+          let results = ref [] in
+          let record name st = results := (name, st) :: !results in
+          let check name got =
+            record name
+              (if String.equal got want then Agree
+               else Diverged { expected = want; got })
+          in
+          (* interpreter at every greedy level *)
+          List.iter
+            (fun level ->
+              let name = "interp@" ^ Compilers.Driver.level_name level in
+              match compile_result ~level prog with
+              | Error m -> record name (Crashed m)
+              | Ok c -> (
+                  match Exec.Interp.run c.Compilers.Driver.code with
+                  | r -> check name (Exec.Interp.checksum r)
+                  | exception Exec.Interp.Runtime_error m ->
+                      record name (Crashed m)
+                  | exception e -> record name (Crashed (Printexc.to_string e))))
+            cfg.levels;
+          (* search-based planner *)
+          if cfg.planner then begin
+            let name = "plan@search" in
+            match
+              let cost =
+                Plan.Cost.create
+                  {
+                    Plan.Cost.machine = cfg.machine;
+                    procs = cfg.plan_procs;
+                    opts = Comm.Model.all_on;
+                  }
+                  prog
+              in
+              Plan.Driver.compile ~cost prog
+            with
+            | Ok (c, _) -> (
+                match Exec.Interp.run c.Compilers.Driver.code with
+                | r -> check name (Exec.Interp.checksum r)
+                | exception Exec.Interp.Runtime_error m -> record name (Crashed m))
+            | Error d ->
+                record name (Crashed ("compile: " ^ Obs.Diagnostic.to_string d))
+            | exception e -> record name (Crashed (Printexc.to_string e))
+          end;
+          (* SPMD on the simulated processor grid *)
+          if cfg.spmd_procs <> [] then begin
+            let lname = Compilers.Driver.level_name cfg.spmd_level in
+            match compile_result ~level:cfg.spmd_level prog with
+            | Error m ->
+                List.iter
+                  (fun procs ->
+                    record
+                      (Printf.sprintf "spmd@%s/p%d" lname procs)
+                      (Crashed m))
+                  cfg.spmd_procs
+            | Ok c ->
+                List.iter
+                  (fun procs ->
+                    let name = Printf.sprintf "spmd@%s/p%d" lname procs in
+                    match
+                      Spmd.execute
+                        {
+                          Spmd.machine = cfg.machine;
+                          procs;
+                          opts = Comm.Model.all_on;
+                          cachesim = false;
+                        }
+                        c
+                    with
+                    | r -> check name r.Spmd.checksum
+                    | exception Spmd.Unsupported m -> record name (Skipped m)
+                    | exception Spmd.Runtime_error m -> record name (Crashed m)
+                    | exception e ->
+                        record name (Crashed (Printexc.to_string e)))
+                  cfg.spmd_procs
+          end;
+          (* native, through the emitted C *)
+          if cfg.native then begin
+            if Lazy.force cc_available then
+              List.iter
+                (fun level ->
+                  let name = "cc@" ^ Compilers.Driver.level_name level in
+                  match compile_result ~level prog with
+                  | Error m -> record name (Crashed m)
+                  | Ok c -> (
+                      match run_native c.Compilers.Driver.code with
+                      | Ok got -> check name got
+                      | Error m -> record name (Crashed m)
+                      | exception e ->
+                          record name (Crashed (Printexc.to_string e))))
+                cfg.native_levels
+            else record "cc" (Skipped "no C compiler")
+          end;
+          { reference = Some want; results = List.rev !results })
+
+let divergences r =
+  List.filter
+    (fun (_, st) -> match st with Diverged _ | Crashed _ -> true | _ -> false)
+    r.results
+
+let ok r = r.reference <> None && divergences r = []
+
+let skips r =
+  List.filter (fun (_, st) -> match st with Skipped _ -> true | _ -> false)
+    r.results
+
+(* Narrow a cfg to the backend families that actually diverged — the
+   shrinker re-runs the oracle per candidate and must not pay for
+   (especially) cc invocations that were never implicated. *)
+let focus r cfg =
+  let div = divergences r in
+  let has pre = List.exists (fun (n, _) -> Astring.String.is_prefix ~affix:pre n) div in
+  if r.reference = None then { cfg with native = false; spmd_procs = [] }
+  else
+    {
+      cfg with
+      planner = cfg.planner && has "plan@";
+      spmd_procs = (if has "spmd@" then cfg.spmd_procs else []);
+      native = cfg.native && has "cc@";
+      levels = (if has "interp@" then cfg.levels else []);
+    }
+
+let pp_status ppf = function
+  | Agree -> Format.pp_print_string ppf "agree"
+  | Diverged { expected; got } ->
+      Format.fprintf ppf "DIVERGED (want %s, got %s)" expected got
+  | Crashed m -> Format.fprintf ppf "CRASHED (%s)" m
+  | Skipped m -> Format.fprintf ppf "skipped (%s)" m
+
+let pp ppf r =
+  (match r.reference with
+  | Some sum -> Format.fprintf ppf "refinterp %s@," sum
+  | None -> Format.fprintf ppf "refinterp CRASHED@,");
+  List.iter
+    (fun (name, st) -> Format.fprintf ppf "%-18s %a@," name pp_status st)
+    r.results
+
+let to_string r = Format.asprintf "@[<v>%a@]" pp r

@@ -1,0 +1,63 @@
+(** The differential oracle.
+
+    Runs one program through every executor in the repo and compares
+    live-out checksums against the reference interpreter:
+    {!Exec.Interp} on the code of each greedy optimization level,
+    the search-based planner, the SPMD engine at several processor
+    counts, and — when a C compiler is available — the compiled
+    {!Sir.Emit_c} translation unit.  Checksums use
+    {!Exec.Interp.Digest}, which canonicalizes NaN payloads, so only
+    semantic differences register. *)
+
+type status =
+  | Agree
+  | Diverged of { expected : string; got : string }
+  | Crashed of string
+      (** the backend raised (compile error, runtime error, engine
+          invariant violation) — counted as a divergence *)
+  | Skipped of string
+      (** outside the backend's domain (SPMD halo deeper than a
+          chunk, no C compiler installed) — not a divergence *)
+
+type report = {
+  reference : string option;  (** refinterp checksum; [None] = it crashed *)
+  results : (string * status) list;
+      (** backend name → status, e.g. [("interp@c2+f3", Agree)],
+          [("spmd@c2+f3/p16", Skipped _)], [("cc@baseline", ...)] *)
+}
+
+type cfg = {
+  levels : Compilers.Driver.level list;  (** greedy ladder to check *)
+  planner : bool;  (** also run the search-based planner *)
+  plan_procs : int;  (** processor count the planner optimizes for *)
+  spmd_level : Compilers.Driver.level;
+  spmd_procs : int list;
+  native : bool;  (** compile the emitted C when [cc] is present *)
+  native_levels : Compilers.Driver.level list;
+  machine : Machine.t;
+}
+
+val default : cfg
+(** Everything on: [base..c2+f4] plus [c2+p], the search planner,
+    SPMD at 1/4/16 processors, native C at baseline and [c2+f3]. *)
+
+val cc_available : bool lazy_t
+
+val run : ?cfg:cfg -> Ir.Prog.t -> report
+(** The program must be [Ir.Prog.validate]-clean.  Never raises: a
+    backend failure of any kind is recorded in the report. *)
+
+val divergences : report -> (string * status) list
+(** The [Diverged] and [Crashed] entries. *)
+
+val ok : report -> bool
+(** No divergences and the reference itself ran. *)
+
+val skips : report -> (string * status) list
+
+val focus : report -> cfg -> cfg
+(** Narrow [cfg] to the backend families implicated by the report's
+    divergences — the shrinker's per-candidate check budget. *)
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string

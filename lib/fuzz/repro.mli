@@ -1,0 +1,15 @@
+(** Self-contained textual repros (the [test/corpus/] format).
+
+    One s-expression per file describing a full [Ir.Prog.t]; lines
+    starting with [;] are comments (seed, case, divergence class).
+    Floats are printed as hex literals so every program — including
+    NaN-producing shrunk repros — round-trips bit-for-bit:
+    [of_string (to_string p) = Ok p]. *)
+
+val to_string : ?comment:string -> Ir.Prog.t -> string
+val of_string : string -> (Ir.Prog.t, string) result
+(** Purely syntactic: run [Ir.Prog.validate] on the result before
+    executing it. *)
+
+val save : path:string -> ?comment:string -> Ir.Prog.t -> unit
+val load : string -> (Ir.Prog.t, string) result

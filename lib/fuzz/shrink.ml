@@ -1,0 +1,191 @@
+(* Greedy structural shrinking of failing programs.
+
+   Given a predicate [check] ("the divergence still reproduces"), walk
+   the space of one-step simplifications — drop a statement, unwrap a
+   loop, collapse a loop to one trip, shrink a region extent, zero a
+   write offset, replace a subexpression by one of its children or by
+   a constant, drop a live-out, drop an unused declaration — and
+   repeatedly take the first candidate that is still valid and still
+   fails.  Candidates are ordered most-aggressive-first so the common
+   case (one guilty statement in a large program) collapses quickly. *)
+
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Expression simplifications                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_shrinks (e : Expr.t) : Expr.t list =
+  let children =
+    match e with
+    | Expr.Const _ | Expr.Svar _ | Expr.Ref _ | Expr.Idx _ -> []
+    | Expr.Unop (_, a) -> [ a ]
+    | Expr.Binop (_, a, b) -> [ a; b ]
+    | Expr.Select (c, a, b) -> [ c; a; b ]
+  in
+  let const =
+    match e with Expr.Const _ -> [] | _ -> [ Expr.Const 1.0 ]
+  in
+  let deeper =
+    match e with
+    | Expr.Const _ | Expr.Svar _ | Expr.Ref _ | Expr.Idx _ -> []
+    | Expr.Unop (op, a) ->
+        List.map (fun a' -> Expr.Unop (op, a')) (expr_shrinks a)
+    | Expr.Binop (op, a, b) ->
+        List.map (fun a' -> Expr.Binop (op, a', b)) (expr_shrinks a)
+        @ List.map (fun b' -> Expr.Binop (op, a, b')) (expr_shrinks b)
+    | Expr.Select (c, a, b) ->
+        List.map (fun c' -> Expr.Select (c', a, b)) (expr_shrinks c)
+        @ List.map (fun a' -> Expr.Select (c, a', b)) (expr_shrinks a)
+        @ List.map (fun b' -> Expr.Select (c, a, b')) (expr_shrinks b)
+  in
+  children @ const @ deeper
+
+let region_shrinks r =
+  List.concat
+    (List.init (Region.rank r) (fun d ->
+         let { Region.lo; hi } = Region.range r (d + 1) in
+         if hi <= lo then []
+         else
+           let with_hi hi' =
+             Region.of_bounds
+               (List.init (Region.rank r) (fun k ->
+                    let { Region.lo; hi } = Region.range r (k + 1) in
+                    if k = d then (lo, hi') else (lo, hi)))
+           in
+           let mid = lo + ((hi - lo) / 2) in
+           with_hi lo :: (if mid < hi then [ with_hi mid ] else [])))
+
+(* ------------------------------------------------------------------ *)
+(* Statement simplifications                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec stmt_shrinks (s : Prog.stmt) : Prog.stmt list =
+  match s with
+  | Prog.Astmt n ->
+      List.map
+        (fun region -> Prog.Astmt { n with Nstmt.region })
+        (region_shrinks n.Nstmt.region)
+      @ (if Support.Vec.is_null n.Nstmt.lhs_off then []
+         else
+           [
+             Prog.Astmt
+               {
+                 n with
+                 Nstmt.lhs_off = Support.Vec.zero (Region.rank n.Nstmt.region);
+               };
+           ])
+      @ List.filter_map
+          (fun rhs ->
+            (* the shrunk rhs must stay in normal form (lhs unread) *)
+            if List.mem n.Nstmt.lhs (Expr.ref_names rhs) then None
+            else Some (Prog.Astmt { n with Nstmt.rhs }))
+          (expr_shrinks n.Nstmt.rhs)
+  | Prog.Reduce r ->
+      List.map (fun region -> Prog.Reduce { r with region })
+        (region_shrinks r.region)
+      @ List.map (fun arg -> Prog.Reduce { r with arg }) (expr_shrinks r.arg)
+  | Prog.Sassign (x, e) ->
+      List.map (fun e' -> Prog.Sassign (x, e')) (expr_shrinks e)
+  | Prog.Sloop l ->
+      (if l.hi > l.lo then [ Prog.Sloop { l with hi = l.lo } ] else [])
+      @ List.map (fun body -> Prog.Sloop { l with body }) (body_shrinks l.body)
+
+(* one-edit variants of a statement list *)
+and body_shrinks (stmts : Prog.stmt list) : Prog.stmt list list =
+  let removals =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) stmts) stmts
+  in
+  let unwraps =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           match s with
+           | Prog.Sloop { body; _ } ->
+               [
+                 List.concat
+                   (List.mapi
+                      (fun j s' -> if j = i then body else [ s' ])
+                      stmts);
+               ]
+           | _ -> [])
+         stmts)
+  in
+  let inplace =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun s' -> List.mapi (fun j x -> if j = i then s' else x) stmts)
+             (stmt_shrinks s))
+         stmts)
+  in
+  removals @ unwraps @ inplace
+
+(* ------------------------------------------------------------------ *)
+(* Program simplifications                                             *)
+(* ------------------------------------------------------------------ *)
+
+let used_arrays (p : Prog.t) =
+  let seen = Hashtbl.create 16 in
+  let expr e = List.iter (fun x -> Hashtbl.replace seen x ()) (Expr.ref_names e) in
+  let rec stmt = function
+    | Prog.Astmt n ->
+        Hashtbl.replace seen n.Nstmt.lhs ();
+        expr n.Nstmt.rhs
+    | Prog.Reduce { arg; _ } -> expr arg
+    | Prog.Sassign (_, e) -> expr e
+    | Prog.Sloop { body; _ } -> List.iter stmt body
+  in
+  List.iter stmt p.Prog.body;
+  seen
+
+let prog_shrinks (p : Prog.t) : Prog.t list =
+  let bodies =
+    List.filter_map
+      (fun body -> if body = [] then None else Some { p with Prog.body })
+      (body_shrinks p.Prog.body)
+  in
+  let live =
+    if List.length p.Prog.live_out <= 1 then []
+    else
+      List.mapi
+        (fun i _ ->
+          { p with Prog.live_out = List.filteri (fun j _ -> j <> i) p.Prog.live_out })
+        p.Prog.live_out
+  in
+  let unused =
+    let used = used_arrays p in
+    List.filter_map
+      (fun (a : Prog.array_info) ->
+        if Hashtbl.mem used a.name || List.mem a.name p.Prog.live_out then None
+        else
+          Some
+            {
+              p with
+              Prog.arrays =
+                List.filter
+                  (fun (b : Prog.array_info) -> b.name <> a.name)
+                  p.Prog.arrays;
+            })
+      p.Prog.arrays
+  in
+  bodies @ live @ unused
+
+let run ?(max_checks = 400) ~check (p : Prog.t) =
+  let budget = ref max_checks in
+  let try_candidate q =
+    !budget > 0
+    &&
+    match Prog.validate q with
+    | Error _ -> false
+    | Ok () ->
+        decr budget;
+        check q
+  in
+  let rec go p =
+    match List.find_opt try_candidate (prog_shrinks p) with
+    | Some q -> go q
+    | None -> p
+  in
+  go p

@@ -54,6 +54,9 @@ let svars e =
   fold (fun acc e -> match e with Svar s -> s :: acc | _ -> acc) [] e
   |> List.rev |> dedup
 
+let has_idx e =
+  fold (fun acc e -> acc || match e with Idx _ -> true | _ -> false) false e
+
 let rec map_refs f e =
   match e with
   | Const _ | Svar _ | Idx _ -> e
@@ -87,6 +90,16 @@ let hashrand x =
 let bool_of f = f <> 0.0
 let of_bool b = if b then 1.0 else 0.0
 
+(* NaN-propagating minimum/maximum — the single definition of Min/Max
+   every executor (both interpreters, the SPMD engine, the emitted C)
+   must agree with.  C's fmin/fmax return the non-NaN operand and
+   OCaml's polymorphic min/max disagree with each other (min
+   propagates NaN, max drops it); we standardize on propagation.  On
+   ordered operands the tie goes to the left argument, so signed
+   zeros are resolved identically everywhere. *)
+let fmin x y = if x <> x || y <> y then Float.nan else if x <= y then x else y
+let fmax x y = if x <> x || y <> y then Float.nan else if x >= y then x else y
+
 let apply_unop op x =
   match op with
   | Neg -> -.x
@@ -107,8 +120,8 @@ let apply_binop op x y =
   | Mul -> x *. y
   | Div -> x /. y
   | Pow -> x ** y
-  | Min -> min x y
-  | Max -> max x y
+  | Min -> fmin x y
+  | Max -> fmax x y
   | Lt -> of_bool (x < y)
   | Le -> of_bool (x <= y)
   | Gt -> of_bool (x > y)

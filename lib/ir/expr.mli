@@ -40,6 +40,10 @@ type t =
   | Binop of binop * t * t
   | Select of t * t * t  (** [Select (c, a, b)] is [a] where [c <> 0.], else [b] *)
 
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Left fold over every node of the expression tree (the node itself
+    included), preorder. *)
+
 val refs : t -> (string * Support.Vec.t) list
 (** All array references, left-to-right, with duplicates preserved
     (reference counts feed the contraction weight w(x,G)). *)
@@ -50,6 +54,9 @@ val ref_names : t -> string list
 val svars : t -> string list
 (** Distinct scalar variables read. *)
 
+val has_idx : t -> bool
+(** Whether the expression reads any region index ([Idx]). *)
+
 val map_refs : (string -> Support.Vec.t -> t) -> t -> t
 (** Rebuild the expression, replacing every array reference. *)
 
@@ -58,6 +65,15 @@ val rank_consistent : rank:int -> t -> bool
 
 val apply_unop : unop -> float -> float
 val apply_binop : binop -> float -> float -> float
+
+val fmin : float -> float -> float
+val fmax : float -> float -> float
+(** The semantics of [Min]/[Max] (and of the [Rmin]/[Rmax] reduction
+    combiners): NaN-propagating, left-biased on ties.  Every executor
+    — both interpreters, the SPMD engine, the emitted C — must use
+    exactly these, bit for bit; C's [fmin]/[fmax] (which return the
+    non-NaN operand) and OCaml's polymorphic [min]/[max] (which
+    disagree with each other on NaN) are all wrong here. *)
 
 val hashrand : float -> float
 (** The pure PRN function behind [Hashrand] (exposed for tests and for

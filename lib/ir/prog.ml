@@ -77,6 +77,16 @@ let validate t =
     | Reduce { target; region; arg; _ } :: tl -> (
         if not (List.mem target scope) then
           Error (Printf.sprintf "undeclared reduction target %s" target)
+        else if List.mem target (Expr.svars arg) then
+          (* the accumulator is not defined during the sweep: executors
+             disagree on whether a self-read sees the old value or the
+             running partial result *)
+          Error
+            (Printf.sprintf "reduction into %s reads its own target" target)
+        else if not (Expr.rank_consistent ~rank:(Region.rank region) arg) then
+          Error
+            (Printf.sprintf
+               "reduction into %s: argument index of mismatched rank" target)
         else
           match check_all (check_ref t region) (Expr.refs arg) with
           | Error _ as e -> e
@@ -90,6 +100,10 @@ let validate t =
         else if Expr.refs e <> [] then
           Error
             (Printf.sprintf "scalar assignment to %s references an array" x)
+        else if Expr.has_idx e then
+          Error
+            (Printf.sprintf
+               "scalar assignment to %s references a region index" x)
         else (
           match check_scalars_in_scope scope e with
           | Error _ as e -> e

@@ -47,8 +47,10 @@ val validate : t -> (unit, string) result
 (** Structural well-formedness: every referenced array/scalar is
     declared (loop variables are in scope within their loop); every
     array reference of every statement stays within the referenced
-    array's allocation bounds; scalar assignments reference no arrays;
-    statement regions are nonempty. *)
+    array's allocation bounds; scalar assignments reference no arrays
+    and no region indices (there is no iteration point to read them
+    at); reduction arguments are rank-consistent with the reduction
+    region; statement regions are nonempty. *)
 
 val blocks : t -> Nstmt.t list list
 (** All maximal runs of consecutive [Astmt]s, in execution-syntax

@@ -18,10 +18,22 @@ static double hashrand(double x) {
   return ((double)(z >> 11) + 0.5) * (1.0 / 9007199254740992.0);
 }
 
+/* bit-exact port of Ir.Expr.fmin/fmax: NaN-propagating, left-biased
+   on ties (so signed zeros resolve as in the interpreters).  libm's
+   fmin/fmax return the non-NaN operand and must not be used here. */
+static double zap_min(double x, double y) {
+  return (x != x || y != y) ? NAN : (x <= y ? x : y);
+}
+static double zap_max(double x, double y) {
+  return (x != x || y != y) ? NAN : (x >= y ? x : y);
+}
+
 static uint64_t digest = 0;
 static void mix(double v) {
   uint64_t bits;
-  memcpy(&bits, &v, 8);
+  /* canonicalize NaN payloads, as Exec.Interp.Digest.mix does */
+  if (v != v) bits = 0x7FF8000000000000ULL;
+  else memcpy(&bits, &v, 8);
   digest = digest * 6364136223846793005ULL
          + (bits ^ 1442695040888963407ULL);
 }
@@ -89,10 +101,8 @@ let rec pp_expr loopvars ppf (e : Code.expr) =
       | Ir.Expr.Mul -> Format.fprintf ppf "(%a * %a)" pe a pe b
       | Ir.Expr.Div -> Format.fprintf ppf "(%a / %a)" pe a pe b
       | Ir.Expr.Pow -> Format.fprintf ppf "pow(%a, %a)" pe a pe b
-      (* OCaml's polymorphic min/max on floats: NaN never arises in
-         our programs; fmin/fmax agree on ordered values *)
-      | Ir.Expr.Min -> Format.fprintf ppf "fmin(%a, %a)" pe a pe b
-      | Ir.Expr.Max -> Format.fprintf ppf "fmax(%a, %a)" pe a pe b
+      | Ir.Expr.Min -> Format.fprintf ppf "zap_min(%a, %a)" pe a pe b
+      | Ir.Expr.Max -> Format.fprintf ppf "zap_max(%a, %a)" pe a pe b
       | Ir.Expr.Lt -> Format.fprintf ppf "((double)(%a < %a))" pe a pe b
       | Ir.Expr.Le -> Format.fprintf ppf "((double)(%a <= %a))" pe a pe b
       | Ir.Expr.Gt -> Format.fprintf ppf "((double)(%a > %a))" pe a pe b

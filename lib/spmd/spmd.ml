@@ -636,8 +636,8 @@ let red_init : Prog.redop -> float = function
 let red_apply : Prog.redop -> float -> float -> float = function
   | Prog.Rsum -> ( +. )
   | Prog.Rprod -> ( *. )
-  | Prog.Rmin -> min
-  | Prog.Rmax -> max
+  | Prog.Rmin -> Expr.fmin
+  | Prog.Rmax -> Expr.fmax
 
 (* Reductions: every processor evaluates the points it owns, but the
    accumulation folds contributions in canonical global row-major

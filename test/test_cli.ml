@@ -210,6 +210,30 @@ let test_bad_plan_fails () =
     Alcotest.(check bool) "bad plan rejected" true (code <> 0)
   end
 
+let test_fuzz_flag () =
+  if available then begin
+    let out_dir = Filename.temp_file "fuzzout" "" in
+    Sys.remove out_dir;
+    let code, out =
+      run (Printf.sprintf "--fuzz 3 --seed 5 --fuzz-out %s" (Filename.quote out_dir))
+    in
+    Alcotest.(check int) "exit 0" 0 code;
+    Alcotest.(check bool) "reports campaign" true
+      (contains out "fuzz: 3 cases, seed 5");
+    Alcotest.(check bool) "no divergences" true (contains out "0 divergences");
+    (* deterministic: a second run prints the identical summary *)
+    let _, out2 =
+      run (Printf.sprintf "--fuzz 3 --seed 5 --fuzz-out %s" (Filename.quote out_dir))
+    in
+    Alcotest.(check string) "same seed, same campaign" out out2;
+    if Sys.file_exists out_dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat out_dir f))
+        (Sys.readdir out_dir);
+      Sys.rmdir out_dir
+    end
+  end
+
 let test_bad_input_fails () =
   if available then begin
     let code, _ = run "--bench nosuch" in
@@ -231,6 +255,7 @@ let suites =
         Alcotest.test_case "list levels golden" `Quick test_list_levels;
         Alcotest.test_case "plan search stats + determinism" `Slow
           test_plan_search_stats;
+        Alcotest.test_case "fuzz campaign smoke" `Slow test_fuzz_flag;
         Alcotest.test_case "bad plan rejected" `Quick test_bad_plan_fails;
         Alcotest.test_case "bad input" `Quick test_bad_input_fails;
       ] );
