@@ -63,12 +63,18 @@ let fig7 () =
     row "%-9s %22s %14s %9s %8s\n" "program" "w/o contraction (c/u)"
       "w/ contraction" "% change" "scalar"
   end;
+  (* compile/count on the pool, print in benchmark order *)
+  let data =
+    Support.Pool.map ~domains:!Harness.jobs
+      (fun (b : Suite.bench) ->
+        let prog = Suite.program b in
+        let nc, nu = Ir.Prog.static_array_counts prog in
+        let c = compile ~level:Compilers.Driver.C2 prog in
+        (b, nc, nu, Compilers.Driver.remaining_arrays c))
+      Suite.all
+  in
   List.iter
-    (fun (b : Suite.bench) ->
-      let prog = Suite.program b in
-      let nc, nu = Ir.Prog.static_array_counts prog in
-      let c = compile ~level:Compilers.Driver.C2 prog in
-      let left = Compilers.Driver.remaining_arrays c in
+    (fun ((b : Suite.bench), nc, nu, left) ->
       let total = nc + nu in
       let pct =
         100.0 *. float_of_int (left - total) /. float_of_int total
@@ -95,7 +101,7 @@ let fig7 () =
           (match b.Suite.scalar_arrays with
           | Some k -> string_of_int k
           | None -> "na"))
-    Suite.all
+    data
 
 (* ------------------------------------------------------------------ *)
 (* Figure 8: memory usage and maximum problem size                     *)
@@ -127,23 +133,35 @@ let fig8 () =
     row "%-9s %4s %4s %9s | %26s | %26s\n" "program" "lb" "la" "C-value"
       "T3E max tile  (% / %vol)" "SP-2 max tile  (% / %vol)"
   end;
+  let machines = [ Machine.t3e; Machine.sp2 ] in
+  (* the max-tile binary searches dominate — run them on the pool,
+     print per benchmark in suite order *)
+  let data =
+    Support.Pool.map ~domains:!Harness.jobs
+      (fun (b : Suite.bench) ->
+        let prog = Suite.program b in
+        let base = compile ~level:Compilers.Driver.Baseline prog in
+        let c2 = compile ~level:Compilers.Driver.C2 prog in
+        let lb = Compilers.Driver.remaining_arrays base in
+        let la = Compilers.Driver.remaining_arrays c2 in
+        let cap = if b.Suite.rank = 1 then 200_000_000 else 20_000 in
+        let tiles =
+          List.map
+            (fun (m : Machine.t) ->
+              let bytes = m.Machine.node_memory_bytes in
+              let nb = max_tile ~level:Compilers.Driver.Baseline ~bytes ~cap b in
+              let na = max_tile ~level:Compilers.Driver.C2 ~bytes ~cap b in
+              (m, nb, na))
+            machines
+        in
+        (b, lb, la, tiles))
+      Suite.all
+  in
   List.iter
-    (fun (b : Suite.bench) ->
-      let prog = Suite.program b in
-      let base = compile ~level:Compilers.Driver.Baseline prog in
-      let c2 = compile ~level:Compilers.Driver.C2 prog in
-      let lb = Compilers.Driver.remaining_arrays base in
-      let la = Compilers.Driver.remaining_arrays c2 in
+    (fun ((b : Suite.bench), lb, la, tiles) ->
       let cval =
         if la = 0 then infinity
         else 100.0 *. float_of_int (lb - la) /. float_of_int la
-      in
-      let cap = if b.Suite.rank = 1 then 200_000_000 else 20_000 in
-      let on_machine (m : Machine.t) =
-        let bytes = m.Machine.node_memory_bytes in
-        let nb = max_tile ~level:Compilers.Driver.Baseline ~bytes ~cap b in
-        let na = max_tile ~level:Compilers.Driver.C2 ~bytes ~cap b in
-        (nb, na)
       in
       let show (nb, na) =
         match (nb, na) with
@@ -158,8 +176,7 @@ let fig8 () =
       in
       if !json_mode then
         List.iter
-          (fun (m : Machine.t) ->
-            let nb, na = on_machine m in
+          (fun ((m : Machine.t), nb, na) ->
             let opt = function Some n -> Obs.Json.Int n | None -> Obs.Json.Null in
             json_row
               Obs.Json.
@@ -173,13 +190,19 @@ let fig8 () =
                   ("max_tile_baseline", opt nb);
                   ("max_tile_c2", opt na);
                 ])
-          [ Machine.t3e; Machine.sp2 ]
+          tiles
       else
+        let tile_of m =
+          let _, nb, na =
+            List.find (fun (m', _, _) -> m' == (m : Machine.t)) tiles
+          in
+          (nb, na)
+        in
         row "%-9s %4d %4d %9s | %26s | %26s\n" b.Suite.name lb la
           (if cval = infinity then "inf" else Printf.sprintf "%.1f" cval)
-          (show (on_machine Machine.t3e))
-          (show (on_machine Machine.sp2)))
-    Suite.all;
+          (show (tile_of Machine.t3e))
+          (show (tile_of Machine.sp2)))
+    data;
   if not !json_mode then
     Printf.printf
       "\nlb/la = live arrays before/after contraction; C = 100*(lb-la)/la\n\
@@ -201,26 +224,35 @@ let perf_figure (m : Machine.t) =
       (Printf.sprintf "Figure %s: %% improvement over baseline on the %s"
          (String.sub fig 3 (String.length fig - 3))
          m.Machine.name);
+  (* the cache simulations dominate — one pool task per benchmark
+     (baseline + every level), then the cheap per-procs communication
+     recosting and all printing happen sequentially in suite order *)
+  let data =
+    Support.Pool.map ~domains:!Harness.jobs
+      (fun (b : Suite.bench) ->
+        let prog = Suite.program b in
+        let compiled_of level = compile ~level prog in
+        let base = compiled_of Compilers.Driver.Baseline in
+        let base_comp = simulate m base in
+        let level_data =
+          List.map
+            (fun level ->
+              let c = compiled_of level in
+              let comp = simulate m c in
+              if comp.checksum <> base_comp.checksum then
+                failwith
+                  (Printf.sprintf "%s: %s changed the program's results!"
+                     b.Suite.name
+                     (Compilers.Driver.level_name level));
+              (level, c, comp))
+            perf_levels
+        in
+        (b, base, base_comp, level_data))
+      Suite.all
+  in
   List.iter
-    (fun (b : Suite.bench) ->
+    (fun ((b : Suite.bench), base, base_comp, level_data) ->
       if not !json_mode then subheading b.Suite.name;
-      let prog = Suite.program b in
-      let compiled_of level = compile ~level prog in
-      let base = compiled_of Compilers.Driver.Baseline in
-      let base_comp = simulate m base in
-      let level_data =
-        List.map
-          (fun level ->
-            let c = compiled_of level in
-            let comp = simulate m c in
-            if comp.checksum <> base_comp.checksum then
-              failwith
-                (Printf.sprintf "%s: %s changed the program's results!"
-                   b.Suite.name
-                   (Compilers.Driver.level_name level));
-            (level, c, comp))
-          perf_levels
-      in
       if not !json_mode then begin
         row "%6s" "procs";
         List.iter
@@ -251,7 +283,7 @@ let perf_figure (m : Machine.t) =
             level_data;
           if not !json_mode then print_newline ())
         procs_axis)
-    Suite.all
+    data
 
 let fig9 () = perf_figure Machine.t3e
 let fig10 () = perf_figure Machine.sp2

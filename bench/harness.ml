@@ -75,6 +75,12 @@ let json_mode = ref false
    CI-smoke size (seconds instead of minutes). *)
 let tiny_mode = ref false
 
+(* --jobs N: worker domains for the matrix sections (fig7-11, spmd,
+   plan, fuzz).  Rows are computed on a Support.Pool and printed
+   sequentially in task order, so every section's output is
+   byte-identical at any value. *)
+let jobs = ref 1
+
 let json_row fields = print_endline (Obs.Json.to_string (Obs.Json.Obj fields))
 
 let heading title =

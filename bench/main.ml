@@ -77,23 +77,34 @@ let sections =
   ]
 
 let () =
-  let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--")
+  let bad_jobs v =
+    Printf.eprintf "bad --jobs %s (want a positive integer)\n" v;
+    exit 1
   in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--json" then begin
-          Harness.json_mode := true;
-          false
-        end
-        else if a = "--tiny" then begin
-          Harness.tiny_mode := true;
-          false
-        end
-        else true)
-      args
+  let set_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> Harness.jobs := n
+    | _ -> bad_jobs v
   in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--" :: tl -> parse acc tl
+    | "--json" :: tl ->
+        Harness.json_mode := true;
+        parse acc tl
+    | "--tiny" :: tl ->
+        Harness.tiny_mode := true;
+        parse acc tl
+    | "--jobs" :: v :: tl ->
+        set_jobs v;
+        parse acc tl
+    | [ "--jobs" ] -> bad_jobs "(missing)"
+    | a :: tl when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+        set_jobs (String.sub a 7 (String.length a - 7));
+        parse acc tl
+    | a :: tl -> parse (a :: acc) tl
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [] -> List.iter (fun (_, f) -> f ()) sections
   | names ->

@@ -62,15 +62,21 @@ let search_cfg () =
   else Plan.Search.default
 
 (* checksums only depend on the generated code, not the machine the
-   plan was priced for — cache them across the machine × procs sweep *)
+   plan was priced for — cache them across the machine × procs sweep.
+   Cells run on a pool, so the table is behind a lock; a racing miss
+   recomputes the (deterministic) checksum, which is benign. *)
 let checksum_cache : (string, string) Hashtbl.t = Hashtbl.create 64
+let checksum_lock = Mutex.create ()
 
 let checksum_of ~key code =
-  match Hashtbl.find_opt checksum_cache key with
+  match
+    Mutex.protect checksum_lock (fun () -> Hashtbl.find_opt checksum_cache key)
+  with
   | Some s -> s
   | None ->
       let s = Exec.Interp.checksum (Exec.Interp.run code) in
-      Hashtbl.replace checksum_cache key s;
+      Mutex.protect checksum_lock (fun () ->
+          Hashtbl.replace checksum_cache key s);
       s
 
 let plan_signature (c : Compilers.Driver.compiled) =
@@ -142,13 +148,23 @@ let section () =
        unified cost model";
   let machines = if !Harness.tiny_mode then [ Machine.t3e ] else machines in
   let procs_list = if !Harness.tiny_mode then [ 16 ] else procs_list in
-  let rows =
+  (* one task per (benchmark, machine, procs) cell, fanned out over
+     --jobs domains; the per-cell search itself stays sequential
+     (jobs=1 in search_cfg) so the pool is never oversubscribed.
+     Pool.map keeps cell order — the committed baseline is independent
+     of --jobs. *)
+  let cells =
     List.concat_map
       (fun b ->
         List.concat_map
-          (fun m -> List.map (measure b m) procs_list)
+          (fun m -> List.map (fun procs -> (b, m, procs)) procs_list)
           machines)
       Suite.all
+  in
+  let rows =
+    Support.Pool.map ~domains:!Harness.jobs
+      (fun (b, m, procs) -> measure b m procs)
+      cells
   in
   if !Harness.json_mode then begin
     List.iter

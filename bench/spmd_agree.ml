@@ -110,13 +110,21 @@ let section () =
   if not !Harness.json_mode then
     Harness.heading
       "SPMD agreement: executed grid run vs analytical model (Cray T3E)";
-  let rows =
+  (* one task per (benchmark, level, procs) cell; Pool.map keeps cell
+     order, so rows (and the committed baseline) are independent of
+     --jobs *)
+  let cells =
     List.concat_map
       (fun b ->
         List.concat_map
-          (fun level -> List.map (measure b level) procs_list)
+          (fun level -> List.map (fun procs -> (b, level, procs)) procs_list)
           levels)
       Suite.all
+  in
+  let rows =
+    Support.Pool.map ~domains:!Harness.jobs
+      (fun (b, level, procs) -> measure b level procs)
+      cells
   in
   if !Harness.json_mode then begin
     List.iter

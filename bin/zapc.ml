@@ -264,10 +264,12 @@ let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
 (* ------------------------------------------------------------------ *)
 
 (* Generate N random programs from --seed and push each through every
-   executor (see Fuzz.Oracle).  A diverging case is shrunk and written
-   to --fuzz-out as a self-contained repro; any failure makes the run
+   executor (see Fuzz.Oracle).  The campaign fans out over --jobs
+   domains (Fuzz.Campaign), then divergences are printed, shrunk and
+   written to --fuzz-out sequentially in case order — so the output is
+   byte-identical at every --jobs value.  Any failure makes the run
    exit nonzero. *)
-let run_fuzz ~n ~seed ~out ~machine =
+let run_fuzz ~n ~seed ~jobs ~out ~machine =
   let* machine = parse_machine machine in
   let cfg = { Fuzz.Oracle.default with Fuzz.Oracle.machine } in
   let* () =
@@ -279,46 +281,45 @@ let run_fuzz ~n ~seed ~out ~machine =
       | () -> Ok ()
       | exception Sys_error m -> Error (Diag.error ~phase:"fuzz" m)
   in
-  let rng = Support.Prng.create (Int64.of_int seed) in
-  let failures = ref 0 and skipped = ref 0 in
-  for case = 1 to n do
-    let p = Fuzz.Gen.generate (Support.Prng.split rng) in
-    let r = Fuzz.Oracle.run ~cfg p in
-    skipped := !skipped + List.length (Fuzz.Oracle.skips r);
-    if not (Fuzz.Oracle.ok r) then begin
-      incr failures;
-      Printf.printf "case %d/%d (seed %d) DIVERGED:\n%s\n" case n seed
-        (Fuzz.Oracle.to_string r);
-      let fcfg = Fuzz.Oracle.focus r cfg in
+  let cases = Fuzz.Campaign.run ~cfg ~jobs ~n ~seed:(Int64.of_int seed) () in
+  let skipped = Fuzz.Campaign.skipped_runs cases in
+  let divergent = Fuzz.Campaign.divergent cases in
+  let failures = List.length divergent in
+  List.iter
+    (fun (c : Fuzz.Campaign.case) ->
+      Printf.printf "case %d/%d (seed %d) DIVERGED:\n%s\n" c.Fuzz.Campaign.index
+        n seed
+        (Fuzz.Oracle.to_string c.Fuzz.Campaign.report);
+      let fcfg = Fuzz.Oracle.focus c.Fuzz.Campaign.report cfg in
       let still_fails q = not (Fuzz.Oracle.ok (Fuzz.Oracle.run ~cfg:fcfg q)) in
-      let small = Fuzz.Shrink.run ~check:still_fails p in
+      let small = Fuzz.Shrink.run ~check:still_fails c.Fuzz.Campaign.program in
       let final = Fuzz.Oracle.run ~cfg small in
       let backends =
         String.concat ", " (List.map fst (Fuzz.Oracle.divergences final))
       in
       let path =
-        Filename.concat out (Printf.sprintf "fuzz-seed%d-case%d.zir" seed case)
+        Filename.concat out
+          (Printf.sprintf "fuzz-seed%d-case%d.zir" seed c.Fuzz.Campaign.index)
       in
       let comment =
-        Printf.sprintf "zapc --fuzz: seed %d case %d\ndiverging: %s" seed case
-          backends
+        Printf.sprintf "zapc --fuzz: seed %d case %d\ndiverging: %s" seed
+          c.Fuzz.Campaign.index backends
       in
       Fuzz.Repro.save ~path ~comment small;
       Printf.printf "shrunk repro written to %s (diverging: %s)\n%s\n" path
         backends
-        (Fuzz.Oracle.to_string final)
-    end
-  done;
-  Printf.printf "fuzz: %d cases, seed %d: %d divergence%s%s\n" n seed !failures
-    (if !failures = 1 then "" else "s")
-    (if !skipped > 0 then
-       Printf.sprintf " (%d backend runs skipped)" !skipped
+        (Fuzz.Oracle.to_string final))
+    divergent;
+  Printf.printf "fuzz: %d cases, seed %d: %d divergence%s%s\n" n seed failures
+    (if failures = 1 then "" else "s")
+    (if skipped > 0 then
+       Printf.sprintf " (%d backend runs skipped)" skipped
      else "");
-  if !failures = 0 then Ok ()
+  if failures = 0 then Ok ()
   else
     Error
       (Diag.errorf ~phase:"fuzz" "%d of %d cases diverged (repros in %s)"
-         !failures n out)
+         failures n out)
 
 (* ------------------------------------------------------------------ *)
 (* Main                                                                *)
@@ -336,12 +337,12 @@ let list_levels () =
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
     dump_c emit_c run machine procs spmd trace stats plan list_levels_f fuzz
-    seed fuzz_out =
+    seed fuzz_out jobs =
   let result =
     if list_levels_f then Ok (list_levels ())
     else
     match fuzz with
-    | Some n -> run_fuzz ~n ~seed ~out:fuzz_out ~machine
+    | Some n -> run_fuzz ~n ~seed ~jobs ~out:fuzz_out ~machine
     | None ->
     let* stats = parse_stats stats in
     let recorder =
@@ -385,7 +386,8 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
               { Plan.Cost.machine = m; procs; opts = Comm.Model.all_on }
               prog
           in
-          let* c, prov = Plan.Driver.compile ~cost prog in
+          let search = { Plan.Search.default with Plan.Search.jobs } in
+          let* c, prov = Plan.Driver.compile ~search ~cost prog in
           Ok (c, Some prov)
     in
     let level = c.Compilers.Driver.level in
@@ -597,6 +599,17 @@ let fuzz_out_arg =
     & info [ "fuzz-out" ] ~docv:"DIR"
         ~doc:"Directory for shrunk $(b,--fuzz) repros (created if missing).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Support.Pool.default_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for $(b,--fuzz) campaigns and $(b,--plan search) \
+           candidate costing (default: the machine's recommended domain \
+           count).  Results are deterministic: output is byte-identical \
+           at every $(docv), only the wall-clock changes.")
+
 let cmd =
   let doc =
     "array-level fusion and contraction compiler (PLDI'98 reproduction)"
@@ -609,6 +622,6 @@ let cmd =
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
        $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
-       $ fuzz_arg $ seed_arg $ fuzz_out_arg))
+       $ fuzz_arg $ seed_arg $ fuzz_out_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -88,8 +88,14 @@ let block_candidates ctx block_idx =
      offset 0 (its final value at the current point is available);
    - no cluster emitted after [c] writes an array the argument reads
      (the accumulation must see final values);
-   - the target scalar is not read anywhere in the block, and targets
-     and arguments of absorbed reductions do not interfere.
+   - the target scalar is not read anywhere in the block, and the
+     reduction does not interfere with ANY earlier reduction in the
+     trailing run — absorbed or standalone.  Absorption hoists the
+     reduction into the block nest, above every earlier standalone
+     reduction, so a shared target (each reduction re-initializes its
+     accumulator: last writer wins), an argument reading an earlier
+     target, or a target read by an earlier argument all change the
+     result.
    Among valid clusters we prefer the {e latest producer} of the
    argument's arrays: absorbing there lets an array read only by this
    reduction contract. *)
@@ -122,7 +128,12 @@ let decide_absorption ctx block_idx (p : Core.Partition.t) =
           | None -> false)
     in
     let absorbed = ref [] in
-    let absorbed_targets = ref [] in
+    (* targets and argument scalars of every reduction already
+       considered in this run, absorbed or not: absorbing a later
+       reduction reorders it past the standalone ones, so interference
+       with any of them is disqualifying *)
+    let prior_targets = ref [] in
+    let prior_arg_svars = ref [] in
     List.iter
       (fun ri ->
         let _, region, target, arg = ctx.reduces.(ri) in
@@ -136,9 +147,10 @@ let decide_absorption ctx block_idx (p : Core.Partition.t) =
         done;
         let scalar_ok =
           (not (List.mem target block_svars))
-          && (not (List.mem target !absorbed_targets))
+          && (not (List.mem target !prior_targets))
+          && (not (List.mem target !prior_arg_svars))
           && List.for_all
-               (fun s -> not (List.mem s !absorbed_targets))
+               (fun s -> not (List.mem s !prior_targets))
                (Expr.svars arg)
         in
         let offsets_ok pos =
@@ -153,14 +165,14 @@ let decide_absorption ctx block_idx (p : Core.Partition.t) =
           let start = max 0 !latest_writer in
           let rec try_pos pos =
             if pos >= n then ()
-            else if cluster_ok pos region && offsets_ok pos then begin
-              absorbed := !absorbed @ [ (ri, order.(pos)) ];
-              absorbed_targets := target :: !absorbed_targets
-            end
+            else if cluster_ok pos region && offsets_ok pos then
+              absorbed := !absorbed @ [ (ri, order.(pos)) ]
             else try_pos (pos + 1)
           in
           try_pos start
-        end)
+        end;
+        prior_targets := target :: !prior_targets;
+        prior_arg_svars := Expr.svars arg @ !prior_arg_svars)
       rs;
     !absorbed
   end

@@ -52,7 +52,19 @@ let default =
     machine = Machine.t3e;
   }
 
-let cc_available = lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
+(* Not a [lazy]: forcing a lazy concurrently from two domains raises
+   Lazy.Undefined, and parallel campaigns probe this from every
+   worker.  Racing the probe itself is harmless — both domains compute
+   the same answer. *)
+let cc_available =
+  let cached = Atomic.make None in
+  fun () ->
+    match Atomic.get cached with
+    | Some v -> v
+    | None ->
+        let v = Sys.command "cc --version > /dev/null 2>&1" = 0 in
+        Atomic.set cached (Some v);
+        v
 
 (* ------------------------------------------------------------------ *)
 (* Native execution of the emitted C                                   *)
@@ -64,18 +76,57 @@ let cc_available = lazy (Sys.command "cc --version > /dev/null 2>&1" = 0)
    a*b+c into fma, which changes results on fma hardware. *)
 let cc_cmd = "cc -O2 -fno-builtin -ffp-contract=off"
 
+(* mkdtemp-style workdir creation.  The old
+   [Filename.temp_file] → [Sys.remove] → [Sys.mkdir] dance had a
+   TOCTOU window: between the remove and the mkdir another process (or
+   domain) could claim the same name, and parallel campaigns hit
+   exactly that.  [mkdir] itself is the atomic claim — we retry over
+   randomized names until one succeeds, and each task therefore owns a
+   unique workdir. *)
+let dir_counter = Atomic.make 0
+
+let make_temp_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let pid = Unix.getpid () in
+  let salt0 =
+    Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6)) land 0xFFFFFF
+  in
+  let rec go attempt =
+    if attempt >= 1000 then
+      raise (Sys_error "zapfuzz: cannot create a unique temp directory")
+    else begin
+      let name =
+        Printf.sprintf "zapfuzz-%d-%d-%06x" pid
+          (Atomic.fetch_and_add dir_counter 1)
+          ((salt0 + (attempt * 0x9E3779)) land 0xFFFFFF)
+      in
+      let dir = Filename.concat base name in
+      match Sys.mkdir dir 0o700 with
+      | () -> dir
+      | exception Sys_error _ when not (Sys.file_exists dir) ->
+          (* the parent is missing or unwritable: retrying cannot help *)
+          raise
+            (Sys_error (Printf.sprintf "zapfuzz: cannot create %s" dir))
+      | exception Sys_error _ -> go (attempt + 1)
+    end
+  in
+  go 0
+
 let run_native (code : Sir.Code.program) =
-  let dir = Filename.temp_file "zapfuzz" "" in
-  Sys.remove dir;
-  Sys.mkdir dir 0o755;
+  let dir = make_temp_dir () in
   let c_path = Filename.concat dir "prog.c" in
   let exe_path = Filename.concat dir "prog" in
   let out_path = Filename.concat dir "out" in
   let err_path = Filename.concat dir "cerr" in
+  (* tolerate partially-created state: remove whatever is present and
+     ignore a dir that another cleanup (or a crash) already removed *)
   let cleanup () =
-    List.iter
-      (fun f -> try Sys.remove f with Sys_error _ -> ())
-      [ c_path; exe_path; out_path; err_path ];
+    (match Sys.readdir dir with
+    | entries ->
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          entries
+    | exception Sys_error _ -> ());
     try Sys.rmdir dir with Sys_error _ -> ()
   in
   Fun.protect ~finally:cleanup @@ fun () ->
@@ -206,7 +257,7 @@ let run ?(cfg = default) prog =
           end;
           (* native, through the emitted C *)
           if cfg.native then begin
-            if Lazy.force cc_available then
+            if cc_available () then
               List.iter
                 (fun level ->
                   let name = "cc@" ^ Compilers.Driver.level_name level in

@@ -41,7 +41,9 @@ val default : cfg
 (** Everything on: [base..c2+f4] plus [c2+p], the search planner,
     SPMD at 1/4/16 processors, native C at baseline and [c2+f3]. *)
 
-val cc_available : bool lazy_t
+val cc_available : unit -> bool
+(** Whether a [cc] is on PATH (probed once, cached; safe to call from
+    any domain). *)
 
 val run : ?cfg:cfg -> Ir.Prog.t -> report
 (** The program must be [Ir.Prog.validate]-clean.  Never raises: a

@@ -433,19 +433,29 @@ let create ?(sink = null_sink) () =
     events = [];
   }
 
-let current : t option ref = ref None
+(* The installed recorder is *domain-local*: a recorder's span stack,
+   counter tables and event list are plain mutable state, so sharing
+   one recorder between domains would race.  Each domain instead sees
+   its own current-recorder slot (fresh domains start at None, so
+   instrumentation inside pool workers is a no-op unless the worker
+   installs its own recorder), and a worker's finished report is
+   folded into the parent with [merge] — in task order, so the merged
+   report is deterministic regardless of domain scheduling. *)
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let enabled () = !current <> None
+let active () = Domain.DLS.get current_key
+
+let enabled () = active () <> None
 
 let run t f =
-  let prev = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  let prev = Domain.DLS.get current_key in
+  Domain.DLS.set current_key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
 let span name f =
-  match !current with
+  match active () with
   | None -> f ()
   | Some r ->
       let depth = List.length r.stack in
@@ -468,21 +478,21 @@ let span name f =
       Fun.protect ~finally:finish f
 
 let count name n =
-  match !current with
+  match active () with
   | None -> ()
   | Some r ->
       let cur = try Hashtbl.find r.counters name with Not_found -> 0 in
       Hashtbl.replace r.counters name (cur + n)
 
 let total name x =
-  match !current with
+  match active () with
   | None -> ()
   | Some r ->
       let cur = try Hashtbl.find r.float_totals name with Not_found -> 0.0 in
       Hashtbl.replace r.float_totals name (cur +. x)
 
 let event e =
-  match !current with
+  match active () with
   | None -> ()
   | Some r ->
       r.events <- e :: r.events;
@@ -502,6 +512,27 @@ let report t =
     totals = sorted t.float_totals;
     events = List.rev t.events;
   }
+
+(* Fold a finished child recorder's report into [t]: counters and
+   totals add, the child's top-level spans and events append after
+   everything already recorded.  Pool drivers give each parallel task
+   its own recorder and merge the task reports back *in task order*,
+   so the combined report is identical whichever domain finished
+   first. *)
+let merge t (r : report) =
+  List.iter
+    (fun (k, v) ->
+      let cur = try Hashtbl.find t.counters k with Not_found -> 0 in
+      Hashtbl.replace t.counters k (cur + v))
+    r.counters;
+  List.iter
+    (fun (k, v) ->
+      let cur = try Hashtbl.find t.float_totals k with Not_found -> 0.0 in
+      Hashtbl.replace t.float_totals k (cur +. v))
+    r.totals;
+  (* both lists are stored reversed *)
+  t.top <- List.rev_append r.spans t.top;
+  t.events <- List.rev_append r.events t.events
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -10,9 +10,13 @@
     cache totals, and per-optimization communication savings.
 
     Instrumentation points ({!span}, {!count}, {!event}) are dynamically
-    scoped: they report to the recorder installed by the innermost
-    {!run}, and compile to a single [ref] read when none is installed —
-    the null-sink configuration adds no measurable overhead.
+    scoped {e per domain}: they report to the recorder installed by the
+    innermost {!run} in the current domain, and compile to a single
+    domain-local read when none is installed — the null-sink
+    configuration adds no measurable overhead.  Recorders are plain
+    mutable state and must not be shared between domains; parallel
+    drivers record into one recorder per task and combine them with
+    {!merge}.
 
     The library also hosts the two cross-layer value types of the
     driver/CLI API: {!Json} (report serialization, no external
@@ -159,6 +163,19 @@ val run : t -> (unit -> 'a) -> 'a
 
 val report : t -> report
 (** Snapshot of everything recorded so far.  Open spans are excluded. *)
+
+val merge : t -> report -> unit
+(** [merge t r] folds a finished child recorder's report into [t]:
+    counters and totals add; [r]'s top-level spans and events append
+    after everything already in [t].  Parallel sweep drivers give each
+    task its own recorder (recorders are domain-local, see {!run}) and
+    merge the reports back in task order, which makes the combined
+    report deterministic regardless of domain scheduling. *)
+
+val active : unit -> t option
+(** The recorder installed in the {e current domain}, if any ([run]
+    installs per-domain: a recorder installed by the caller is not
+    visible inside [Support.Pool] workers). *)
 
 (** {1 Instrumentation points}
 

@@ -49,6 +49,10 @@ type t = {
   base : (string, int) Hashtbl.t;  (** array -> simulated base address *)
   memo : (string, float * float) Hashtbl.t;
       (** cluster probe signature -> (L1, L2) misses per execution *)
+  memo_lock : Mutex.t;
+      (** [memo] is the only mutable field touched after [create];
+          parallel plan search costs sibling states from several
+          domains against one [t] *)
 }
 
 (* Probing a sweep at more lines than this buys no new information:
@@ -104,6 +108,7 @@ let create cfg prog =
     red_execs;
     base;
     memo = Hashtbl.create 256;
+    memo_lock = Mutex.create ();
   }
 
 let cfg t = t.cfg
@@ -158,7 +163,10 @@ let cluster_misses t ~block members ~contracted =
                    (fun x -> List.exists (fun (s : Nstmt.t) -> Nstmt.ref_count s x > 0) stmts)
                    contracted)))
       in
-      (match Hashtbl.find_opt t.memo key with
+      (* the lock covers only the table; a missed lookup is recomputed
+         outside it — two domains may race the same probe, but the
+         result is deterministic, so the duplicate work is benign *)
+      (match Mutex.protect t.memo_lock (fun () -> Hashtbl.find_opt t.memo key) with
       | Some r -> r
       | None ->
           let probe = min lines probe_cap in
@@ -185,7 +193,8 @@ let cluster_misses t ~block members ~contracted =
             | Some s -> float_of_int s.Cachesim.Cache.misses *. scale
             | None -> 0.0
           in
-          Hashtbl.replace t.memo key (l1, l2);
+          Mutex.protect t.memo_lock (fun () ->
+              Hashtbl.replace t.memo key (l1, l2));
           (l1, l2))
 
 let block_cost t ~block (bp : Sir.Scalarize.block_plan) =

@@ -2,9 +2,10 @@ type cfg = {
   max_states : int;
   beam_width : int;
   eps : float;
+  jobs : int;
 }
 
-let default = { max_states = 4000; beam_width = 4; eps = 1e-6 }
+let default = { max_states = 4000; beam_width = 4; eps = 1e-6; jobs = 1 }
 
 type stats = {
   expanded : int;
@@ -125,8 +126,9 @@ let block ?(probe = fun (_ : Core.Partition.t) -> ()) cfg cost_t ~block
     ~candidates g =
   Obs.span "plan-search" @@ fun () ->
   let n = Core.Asdg.n g in
+  (* pure: safe to evaluate from any pool worker (Cost.t serializes its
+     memo internally; everything else it touches is read-only) *)
   let mk p =
-    probe p;
     let contracted = Core.Contraction.decide p ~candidates in
     let bp =
       {
@@ -145,6 +147,7 @@ let block ?(probe = fun (_ : Core.Partition.t) -> ()) cfg cost_t ~block
   and deduped = ref 0
   and beam_rounds = ref 0 in
   let cost_state p =
+    probe p;
     incr generated;
     mk p
   in
@@ -174,21 +177,31 @@ let block ?(probe = fun (_ : Core.Partition.t) -> ()) cfg cost_t ~block
   in
   push trivial;
   if greedy.key <> trivial.key then push greedy;
-  (* children of a state, deduplicated against everything seen *)
+  (* Children of a state, deduplicated against everything seen.  The
+     sequential prefix (move enumeration, keying, visited bookkeeping,
+     probe, stat counters) fixes exactly which states get costed and in
+     what order; only the pure costing fans out over the pool, and
+     Pool.map returns in task order — so stats and tie-breaks are
+     independent of [cfg.jobs]. *)
   let children st =
-    List.filter_map
-      (fun c ->
-        let p' = Core.Partition.merge st.p c in
-        let key = key_of n p' in
-        if Hashtbl.mem visited key then begin
-          incr deduped;
-          None
-        end
-        else begin
-          Hashtbl.replace visited key ();
-          Some (cost_state p')
-        end)
-      (moves g st.p)
+    let fresh =
+      List.filter_map
+        (fun c ->
+          let p' = Core.Partition.merge st.p c in
+          let key = key_of n p' in
+          if Hashtbl.mem visited key then begin
+            incr deduped;
+            None
+          end
+          else begin
+            Hashtbl.replace visited key ();
+            probe p';
+            incr generated;
+            Some p'
+          end)
+        (moves g st.p)
+    in
+    Support.Pool.map ~domains:cfg.jobs mk fresh
   in
   (* ---- branch and bound ------------------------------------------ *)
   let budget_left () = !generated < cfg.max_states in

@@ -35,10 +35,14 @@ type cfg = {
   max_states : int;  (** cost evaluations before the beam fallback *)
   beam_width : int;
   eps : float;  (** ns tolerance below which costs count as equal *)
+  jobs : int;
+      (** domains costing sibling candidate states in parallel via
+          {!Support.Pool}; the result, stats and provenance are
+          identical at any value (see docs/parallelism.md) *)
 }
 
 val default : cfg
-(** [{ max_states = 4000; beam_width = 4; eps = 1e-6 }] *)
+(** [{ max_states = 4000; beam_width = 4; eps = 1e-6; jobs = 1 }] *)
 
 type stats = {
   expanded : int;  (** states whose children were generated *)

@@ -29,17 +29,20 @@ let union t a b =
 
 let same t a b = find t a = find t b
 
+(* Bucket by representative over a plain array so the result is
+   order-stable by construction — groups ascend by representative,
+   members ascend within each group — with no detour through a
+   Hashtbl whose fold order is unspecified (and differs across OCaml
+   versions and hash seeds).  Every consumer (partition printing,
+   plan provenance, SPMD setup) relies on this order. *)
 let groups t =
   let n = Array.length t.parent in
-  let tbl = Hashtbl.create 16 in
+  let buckets = Array.make n [] in
   for i = n - 1 downto 0 do
     let r = find t i in
-    let cur = try Hashtbl.find tbl r with Not_found -> [] in
-    Hashtbl.replace tbl r (i :: cur)
+    buckets.(r) <- i :: buckets.(r)
   done;
-  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-  |> List.map snd
+  Array.to_list buckets |> List.filter (fun members -> members <> [])
 
 let copy t = { parent = Array.copy t.parent; sets = t.sets }
 let n_sets t = t.sets

@@ -1,0 +1,71 @@
+(* A fixed-size domain pool with deterministic, ordered result
+   collection.
+
+   Tasks are claimed from a shared atomic cursor (dynamic load
+   balancing: a slow task does not hold up the queue behind it), every
+   worker writes its result into the slot of the task it claimed, and
+   [map] returns the slots in task order — so the *value* of
+   [map ~domains f tasks] never depends on [domains] or on the order
+   in which domains finish, only [f] and [tasks].
+
+   Exceptions do not kill the pool: a raising task records its
+   exception (with backtrace) in its own slot and the worker moves on,
+   so every task still runs exactly once.  After the join, the
+   exception of the *lowest-indexed* failing task is re-raised — again
+   independent of scheduling.
+
+   The calling domain participates as a worker, so [domains = d]
+   spawns [d - 1] new domains and [domains = 1] (or a single task)
+   degrades to a plain sequential [List.map] in the calling domain —
+   the sequential reference path the deterministic contract is defined
+   against.  Note that spawned domains have their own domain-local
+   state: [Obs] recorders installed in the caller are *not* visible
+   inside tasks (see docs/parallelism.md). *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let map ~domains f tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let workers = min (max 1 domains) n in
+  if workers <= 1 then List.map f tasks
+  else begin
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f arr.(i) with
+            | v -> Done v
+            | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    (* the caller is worker 0; it must not return before the join *)
+    let caller_exn =
+      match worker () with
+      | () -> None
+      | exception e -> Some (e, Printexc.get_raw_backtrace ())
+    in
+    Array.iter Domain.join spawned;
+    (match caller_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list results
+    |> List.map (function
+         | Done v -> v
+         | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Pending -> assert false (* every index below n was claimed *))
+  end
+
+let iter ~domains f tasks = ignore (map ~domains f tasks : unit list)

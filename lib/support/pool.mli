@@ -1,0 +1,34 @@
+(** A fixed-size OCaml 5 domain pool with deterministic, ordered
+    result collection.
+
+    The sweep drivers (fuzz campaigns, bench matrices, planner cost
+    evaluations) are embarrassingly parallel: many independent tasks,
+    one result each, order of *completion* irrelevant but order of
+    *reporting* contractual.  [map] runs tasks on a fixed set of
+    domains and returns results in task order, so output built from
+    them is byte-identical to a sequential run.
+
+    Determinism contract: [map ~domains f tasks = List.map f tasks]
+    whenever every [f x] depends only on [x] (no cross-task shared
+    mutable state); [domains] changes wall-clock time, never the
+    value.  See docs/parallelism.md for what tasks may and may not
+    touch. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] (at least 1): the default for
+    every [--jobs] flag. *)
+
+val map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f tasks] applies [f] to every task on a pool of
+    [domains] domains (the calling domain included; [domains - 1]
+    spawned) and returns the results in task order, regardless of
+    completion order.  [domains <= 1] or a single task runs
+    sequentially in the calling domain.
+
+    Every task runs exactly once even if some raise; the exception of
+    the lowest-indexed failing task is re-raised (with its backtrace)
+    after all tasks finish.  Spawned domains see their own
+    domain-local [Obs] state, not the caller's recorder. *)
+
+val iter : domains:int -> ('a -> unit) -> 'a list -> unit
+(** [map] for effects only. *)

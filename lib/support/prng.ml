@@ -15,10 +15,22 @@ let next_float t =
   (* 53 random bits -> (0,1); add half-ulp so we never return 0. *)
   (Int64.to_float bits +. 0.5) *. (1.0 /. 9007199254740992.0)
 
+(* Rejection sampling over the 31 extracted bits: plain [bits mod
+   bound] over-represents the low residues whenever bound does not
+   divide 2^31 (for bound = 3 * 2^29 the smallest third of the range
+   would be drawn twice as often).  Rejecting the incomplete top
+   interval makes every residue exactly equally likely; at most
+   [range mod bound < bound] of the 2^31 draws are rejected, so the
+   expected number of steps is below 2 for every bound. *)
 let next_int t bound =
   if bound <= 0 then invalid_arg "Prng.next_int: bound must be positive";
-  let bits = Int64.shift_right_logical (step t) 33 |> Int64.to_int in
-  bits mod bound
+  let range = 1 lsl 31 in
+  let limit = range - (range mod bound) in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (step t) 33 |> Int64.to_int in
+    if bits < limit then bits mod bound else draw ()
+  in
+  draw ()
 
 let split t =
   let s = step t in

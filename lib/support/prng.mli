@@ -14,7 +14,9 @@ val next_float : t -> float
 (** Uniform deviate in [(0, 1)]. *)
 
 val next_int : t -> int -> int
-(** [next_int t bound] is uniform in [[0, bound)]. [bound > 0]. *)
+(** [next_int t bound] is {e exactly} uniform in [[0, bound)] (the
+    incomplete top interval of the raw 31-bit draw is rejected, so no
+    modulo bias). [bound > 0].  May advance the state more than once. *)
 
 val split : t -> t
 (** An independent stream derived from the current state; advances the

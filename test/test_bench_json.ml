@@ -129,6 +129,36 @@ let test_fig9_rows_match_text () =
       rows
   end
 
+(* the determinism contract at the harness level: fanning a section
+   over a pool must not change a byte of its stdout rows *)
+let check_jobs_invariant section args =
+  if available then begin
+    let run_stdout extra =
+      let out = Filename.temp_file "bench" ".out" in
+      let cmd =
+        Printf.sprintf "%s %s %s > %s 2>/dev/null" (Filename.quote bench) args
+          extra (Filename.quote out)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in out in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      Sys.remove out;
+      Alcotest.(check int) (section ^ " exit 0" ^ extra) 0 code;
+      text
+    in
+    Alcotest.(check string)
+      (section ^ ": --jobs 2 rows byte-identical to sequential")
+      (run_stdout "--jobs 1") (run_stdout "--jobs 2")
+  end
+
+let test_fig7_jobs_invariant () = check_jobs_invariant "fig7" "fig7 --json"
+let test_fig8_jobs_invariant () = check_jobs_invariant "fig8" "fig8 --json"
+
+let test_plan_jobs_invariant () =
+  check_jobs_invariant "plan" "plan --json --tiny"
+
 let suites =
   [
     ( "bench.json",
@@ -137,5 +167,11 @@ let suites =
           test_fig7_matches_text;
         Alcotest.test_case "fig9 --json matches text" `Slow
           test_fig9_rows_match_text;
+        Alcotest.test_case "fig7 rows invariant under --jobs" `Quick
+          test_fig7_jobs_invariant;
+        Alcotest.test_case "fig8 rows invariant under --jobs" `Slow
+          test_fig8_jobs_invariant;
+        Alcotest.test_case "plan rows invariant under --jobs" `Slow
+          test_plan_jobs_invariant;
       ] );
   ]

@@ -208,6 +208,63 @@ let prop_levels_match_reference =
         (Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ]))
 
 (* ------------------------------------------------------------------ *)
+(* Parallel campaigns (Fuzz.Campaign over Support.Pool)                *)
+(* ------------------------------------------------------------------ *)
+
+(* a cheap oracle slice: determinism is about scheduling, not backend
+   coverage, so skip the planner, SPMD tail and cc round-trips *)
+let campaign_cfg =
+  {
+    Fuzz.Oracle.default with
+    Fuzz.Oracle.levels = Compilers.Driver.[ Baseline; C2F3 ];
+    planner = false;
+    native = false;
+    spmd_procs = [ 4 ];
+  }
+
+let campaign_digest cases =
+  String.concat "\n"
+    (List.map
+       (fun (c : Fuzz.Campaign.case) ->
+         Printf.sprintf "%d\n%s%s" c.Fuzz.Campaign.index
+           (Fuzz.Repro.to_string c.Fuzz.Campaign.program)
+           (Fuzz.Oracle.to_string c.Fuzz.Campaign.report))
+       cases)
+
+let test_campaign_parallel_deterministic () =
+  let run jobs = Fuzz.Campaign.run ~cfg:campaign_cfg ~jobs ~n:12 ~seed:3L () in
+  let seq = run 1 in
+  Alcotest.(check (list int))
+    "cases come back in order"
+    (List.init 12 (fun i -> i + 1))
+    (List.map (fun (c : Fuzz.Campaign.case) -> c.Fuzz.Campaign.index) seq);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "%d domains == sequential" jobs)
+        (campaign_digest seq)
+        (campaign_digest (run jobs)))
+    [ 2; 8 ]
+
+(* with a recorder installed, per-case counters merge back in case
+   order — the totals cannot depend on which domain ran which case *)
+let test_campaign_merges_obs () =
+  let counters jobs =
+    let t = Obs.create () in
+    Obs.run t (fun () ->
+        ignore
+          (Fuzz.Campaign.run ~cfg:campaign_cfg ~jobs ~n:6 ~seed:4L ()
+            : Fuzz.Campaign.case list));
+    (Obs.report t).Obs.counters
+  in
+  let seq = counters 1 in
+  Alcotest.(check bool)
+    "campaign emits counters" true
+    (List.exists (fun (_, v) -> v > 0) seq);
+  Alcotest.(check bool) "counters identical at 4 domains" true
+    (seq = counters 4)
+
+(* ------------------------------------------------------------------ *)
 (* Corpus replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -320,6 +377,13 @@ let suites =
       [
         QCheck_alcotest.to_alcotest prop_levels_match_reference;
         Alcotest.test_case "corpus replays green" `Slow test_corpus_replays;
+      ] );
+    ( "fuzz-campaign",
+      [
+        Alcotest.test_case "parallel campaign is deterministic" `Quick
+          test_campaign_parallel_deterministic;
+        Alcotest.test_case "obs counters merge deterministically" `Quick
+          test_campaign_merges_obs;
       ] );
     ( "fuzz-shrink",
       [

@@ -120,6 +120,47 @@ let test_counters_and_events () =
     (List.assoc_opt "custom.ns" r.Obs.totals);
   Alcotest.(check int) "events kept in order" 2 (List.length r.Obs.events)
 
+let test_merge_reports () =
+  let child k =
+    let c = Obs.create () in
+    Obs.run c (fun () ->
+        Obs.count "merge.hits" k;
+        Obs.total "merge.ns" (float_of_int k);
+        Obs.span (Printf.sprintf "child%d" k) (fun () -> ()));
+    Obs.report c
+  in
+  let r1 = child 1 and r2 = child 2 in
+  let parent = Obs.create () in
+  Obs.run parent (fun () -> Obs.count "merge.hits" 10);
+  Obs.merge parent r1;
+  Obs.merge parent r2;
+  let r = Obs.report parent in
+  Alcotest.(check (option int))
+    "counters add" (Some 13)
+    (List.assoc_opt "merge.hits" r.Obs.counters);
+  Alcotest.(check (option (float 1e-9)))
+    "totals add" (Some 3.0)
+    (List.assoc_opt "merge.ns" r.Obs.totals);
+  Alcotest.(check (list string))
+    "spans appended in merge order" [ "child1"; "child2" ]
+    (List.map (fun (s : Obs.span) -> s.Obs.span_name) r.Obs.spans)
+
+(* recorders dynamically scope per domain: a freshly spawned domain
+   starts disabled even while the spawner is inside Obs.run — pool
+   workers must opt in with their own recorder, never race a shared
+   one *)
+let test_recorder_is_domain_local () =
+  let t = Obs.create () in
+  let parent_sees, child_sees =
+    Obs.run t (fun () ->
+        let d = Domain.spawn (fun () -> Obs.enabled ()) in
+        let child = Domain.join d in
+        (Obs.enabled (), child))
+  in
+  Alcotest.(check bool) "spawner enabled" true parent_sees;
+  Alcotest.(check bool) "spawned domain disabled" false child_sees;
+  Alcotest.(check bool) "active mirrors enabled" true (Obs.active () = None)
+
 (* ---------------- result-based driver API ------------------------ *)
 
 let region = Region.of_bounds [ (1, 4) ]
@@ -231,6 +272,10 @@ let suites =
         Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
         Alcotest.test_case "span nesting" `Quick test_span_nesting;
         Alcotest.test_case "counters and events" `Quick test_counters_and_events;
+        Alcotest.test_case "merge accumulates reports" `Quick
+          test_merge_reports;
+        Alcotest.test_case "recorder is domain-local" `Quick
+          test_recorder_is_domain_local;
       ] );
     ( "obs.driver",
       [

@@ -199,6 +199,47 @@ let test_deterministic () =
   Alcotest.(check string) "same plan" f1 f2;
   Alcotest.(check string) "same provenance JSON" j1 j2
 
+(* sibling candidates are costed on a domain pool when jobs > 1; the
+   sequential prefix fixes the visit order and every tie-break, so the
+   plan AND the full provenance must be bit-identical at any jobs *)
+let test_parallel_search_deterministic () =
+  let run jobs =
+    let b = Option.get (Suite.by_name "simple") in
+    let prog = Suite.program ~tile:16 b in
+    let cost =
+      Plan.Cost.create
+        { Plan.Cost.machine = Machine.t3e; procs = 16; opts = Comm.Model.all_on }
+        prog
+    in
+    match
+      Plan.Driver.compile
+        ~search:
+          {
+            Plan.Search.default with
+            Plan.Search.max_states = 600;
+            beam_width = 2;
+            jobs;
+          }
+        ~cost prog
+    with
+    | Ok (c, prov) ->
+        ( plan_fingerprint c,
+          Obs.Json.to_string (Plan.Driver.provenance_json prov) )
+    | Error d ->
+        Alcotest.failf "plan compile failed: %s" (Obs.Diagnostic.to_string d)
+  in
+  let f1, j1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let f, j = run jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "plan identical at %d jobs" jobs)
+        f1 f;
+      Alcotest.(check string)
+        (Printf.sprintf "provenance identical at %d jobs" jobs)
+        j1 j)
+    [ 2; 8 ]
+
 let test_never_worse_across_suite () =
   List.iter
     (fun (b : Suite.bench) ->
@@ -219,6 +260,8 @@ let suites =
           test_simple_search_wins;
         Alcotest.test_case "deterministic plans and provenance" `Slow
           test_deterministic;
+        Alcotest.test_case "parallel search matches sequential" `Slow
+          test_parallel_search_deterministic;
         Alcotest.test_case "search never worse across suite" `Slow
           test_never_worse_across_suite;
         QCheck_alcotest.to_alcotest prop_search_states_valid;

@@ -100,6 +100,22 @@ let test_dsu () =
   Dsu.union d2 0 1;
   Alcotest.(check bool) "copy is independent" false (Dsu.same d 0 1)
 
+let prop_dsu_groups_canonical =
+  QCheck.Test.make ~name:"dsu groups sorted by representative" ~count:300
+    QCheck.(
+      list_of_size Gen.(int_range 0 15) (pair (int_range 0 9) (int_range 0 9)))
+    (fun unions ->
+      let d = Dsu.create 10 in
+      List.iter (fun (a, b) -> Dsu.union d a b) unions;
+      let gs = Dsu.groups d in
+      let mins = List.map (fun g -> List.fold_left min max_int g) gs in
+      (* groups ascend by representative, members ascend, and the
+         groups partition 0..n-1 — order is structural, never
+         insertion-dependent *)
+      List.sort compare mins = mins
+      && List.for_all (fun g -> List.sort compare g = g) gs
+      && List.sort compare (List.concat gs) = List.init 10 Fun.id)
+
 let test_prng () =
   let r = Prng.create 42L in
   let xs = List.init 1000 (fun _ -> Prng.next_float r) in
@@ -113,6 +129,117 @@ let test_prng () =
     "deterministic"
     (List.init 10 (fun _ -> Prng.next_float r1))
     (List.init 10 (fun _ -> Prng.next_float r2))
+
+let test_prng_chi_square () =
+  let r = Prng.create 123L in
+  let bound = 7 in
+  let draws = 7000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let v = Prng.next_int r bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  (* 22.46 is the p=0.001 critical value at 6 degrees of freedom — and
+     the seed is pinned, so the check cannot flake *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.2f < 22.46" chi2)
+    true (chi2 < 22.46)
+
+let test_prng_no_modulo_bias () =
+  (* bound = 3*2^29: 2^31 mod bound = 2^29, so plain [bits mod bound]
+     lands in [0, 2^29) with probability 1/2 instead of 1/3 — far
+     outside noise at 3000 draws.  Rejection sampling must not. *)
+  let r = Prng.create 77L in
+  let bound = 3 * (1 lsl 29) in
+  let draws = 3000 in
+  let low = ref 0 in
+  for _ = 1 to draws do
+    if Prng.next_int r bound < 1 lsl 29 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "low-third fraction %.3f near 1/3" frac)
+    true
+    (abs_float (frac -. (1.0 /. 3.0)) < 0.04)
+
+let test_prng_bounds () =
+  let r = Prng.create 5L in
+  for _ = 1 to 2000 do
+    let v = Prng.next_int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.(check int) "bound 1 is always 0" 0 (Prng.next_int r 1);
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.next_int: bound must be positive") (fun () ->
+      ignore (Prng.next_int r 0))
+
+(* ---------------- Pool ------------------------------------------- *)
+
+let test_pool_ordering () =
+  let tasks = List.init 100 Fun.id in
+  let want = List.map (fun i -> i * i) tasks in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in task order, %d domains" domains)
+        want
+        (Pool.map ~domains (fun i -> i * i) tasks))
+    [ 1; 2; 8 ]
+
+let test_pool_uneven_work () =
+  (* front-load the slow tasks so completion order inverts task order;
+     the result list must not *)
+  let f i =
+    if i < 4 then begin
+      let s = ref 0 in
+      for k = 1 to 300_000 do
+        s := !s + k
+      done;
+      ignore !s
+    end;
+    i * 10
+  in
+  let tasks = List.init 32 Fun.id in
+  Alcotest.(check (list int))
+    "ordered despite uneven work"
+    (List.map (fun i -> i * 10) tasks)
+    (Pool.map ~domains:8 f tasks)
+
+let test_pool_edges () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map ~domains:4 Fun.id [ 7 ]);
+  Alcotest.(check (list int))
+    "more domains than tasks"
+    [ 1; 2 ]
+    (Pool.map ~domains:16 Fun.id [ 1; 2 ]);
+  Alcotest.(check bool) "default_domains >= 1" true (Pool.default_domains () >= 1)
+
+exception Boom of int
+
+let test_pool_exception () =
+  List.iter
+    (fun domains ->
+      match
+        Pool.map ~domains
+          (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          (* several tasks raise; the lowest task index must win
+             regardless of which domain finished first *)
+          Alcotest.(check int)
+            (Printf.sprintf "lowest failing index, %d domains" domains)
+            1 i)
+    [ 1; 2; 8 ]
 
 let suites =
   [
@@ -132,7 +259,25 @@ let suites =
         QCheck_alcotest.to_alcotest prop_topo_respects_edges;
       ] );
     ( "support.dsu",
-      [ Alcotest.test_case "basics" `Quick test_dsu ] );
+      [
+        Alcotest.test_case "basics" `Quick test_dsu;
+        QCheck_alcotest.to_alcotest prop_dsu_groups_canonical;
+      ] );
     ( "support.prng",
-      [ Alcotest.test_case "uniformity" `Quick test_prng ] );
+      [
+        Alcotest.test_case "uniformity" `Quick test_prng;
+        Alcotest.test_case "next_int chi-square" `Quick test_prng_chi_square;
+        Alcotest.test_case "next_int has no modulo bias" `Quick
+          test_prng_no_modulo_bias;
+        Alcotest.test_case "next_int bounds" `Quick test_prng_bounds;
+      ] );
+    ( "support.pool",
+      [
+        Alcotest.test_case "results in task order" `Quick test_pool_ordering;
+        Alcotest.test_case "uneven work stays ordered" `Quick
+          test_pool_uneven_work;
+        Alcotest.test_case "edge cases" `Quick test_pool_edges;
+        Alcotest.test_case "first failure propagates" `Quick
+          test_pool_exception;
+      ] );
   ]
