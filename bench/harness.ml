@@ -57,7 +57,10 @@ let improvement_pct ~baseline t = 100.0 *. (baseline -. t) /. t
    on programs that must compile, so an [Error] here is a harness bug,
    not a recoverable condition. *)
 let compile ?may_fuse ?reduction_fusion ~level prog =
-  match Compilers.Driver.compile ?may_fuse ?reduction_fusion ~level prog with
+  match
+    Compilers.Driver.(compile_opts (opts ?may_fuse ?reduction_fusion level))
+      prog
+  with
   | Ok c -> c
   | Error d ->
       Printf.eprintf "bench: %s\n" (Obs.Diagnostic.to_string d);

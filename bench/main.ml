@@ -73,6 +73,7 @@ let sections =
     ("spmd", Spmd_agree.section);
     ("plan", Plan_gap.section);
     ("fuzz", Fuzz_smoke.section);
+    ("zapd", Zapd_load.section);
     ("speed", optimizer_speed);
   ]
 

@@ -1,10 +1,13 @@
 (* zapc — the zap array-language compiler driver.
 
-   Compiles a zap program (a file, or a built-in benchmark via
-   --bench), applies the requested optimization level, and can dump
-   the array IR, the fusion/contraction plan, or the generated scalar
-   code; run the program through the instrumented interpreter; and
-   report modeled performance on one of the paper's machines.
+   Since the zapd service landed, zapc is a thin client of the typed
+   request API (Service.Api): the command line builds one
+   [Api.request], hands it either to an in-process [Service.Engine]
+   (the default) or to a running zapd daemon over a Unix-domain socket
+   (--connect), and renders the [Api.response].  Both paths produce
+   byte-identical output because both go through the same engine code
+   and the same renderer — the CLI owns no compilation logic of its
+   own anymore.
 
    All failures flow through [Obs.Diagnostic.t] and are rendered
    uniformly by cmdliner; --trace streams the pass-span tree and
@@ -13,48 +16,13 @@
 
 open Cmdliner
 module Diag = Obs.Diagnostic
+module Api = Service.Api
 
 let ( let* ) = Result.bind
 
 (* ------------------------------------------------------------------ *)
-(* Result-based input handling                                         *)
+(* Argument parsing                                                    *)
 (* ------------------------------------------------------------------ *)
-
-(* Zap frontend exceptions → diagnostics carrying the input name and
-   line. *)
-let catching_zap ~input f =
-  match f () with
-  | v -> Ok v
-  | exception Zap.Elaborate.Error (line, m) ->
-      Error (Diag.error ~loc:(input, line) ~phase:"elaborate" m)
-  | exception Zap.Parser.Error (line, m) ->
-      Error (Diag.error ~loc:(input, line) ~phase:"parse" m)
-  | exception Zap.Lexer.Error (line, m) ->
-      Error (Diag.error ~loc:(input, line) ~phase:"lex" m)
-  | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
-
-let read_program bench file config tile =
-  match (bench, file) with
-  | Some name, None -> (
-      match Suite.by_name name with
-      | Some b ->
-          catching_zap ~input:("--bench " ^ name) (fun () ->
-              Suite.program ?tile ~config b)
-      | None ->
-          Error
-            (Diag.errorf ~phase:"cli" "unknown benchmark %S (have: %s)" name
-               (String.concat ", "
-                  (List.map (fun b -> b.Suite.name) Suite.all))))
-  | None, Some path ->
-      let config =
-        match tile with Some t -> ("n", float_of_int t) :: config | None -> config
-      in
-      catching_zap ~input:path (fun () -> Zap.Elaborate.compile_file ~config path)
-  | Some _, Some _ ->
-      Error (Diag.error ~phase:"cli" "give either a file or --bench, not both")
-  | None, None ->
-      Error
-        (Diag.error ~phase:"cli" "nothing to compile: give a file or --bench NAME")
 
 let parse_config kvs =
   List.fold_left
@@ -75,29 +43,11 @@ let parse_config kvs =
     (Ok []) kvs
   |> Result.map List.rev
 
-let parse_level name =
-  match Compilers.Driver.level_of_name name with
-  | Some l -> Ok l
+let parse_plan name =
+  match Api.plan_mode_of_name name with
+  | Some m -> Ok m
   | None ->
-      Error
-        (Diag.errorf ~phase:"cli"
-           "unknown level %S (baseline, f1, c1, f2, f3, c2, c2+f3, c2+f4, \
-            c2+p; '+' may be omitted)"
-           name)
-
-let parse_plan = function
-  | "greedy" -> Ok `Greedy
-  | "search" -> Ok `Search
-  | other ->
-      Error (Diag.errorf ~phase:"cli" "unknown --plan %S (greedy|search)" other)
-
-let parse_machine name =
-  match String.lowercase_ascii name with
-  | "t3e" -> Ok Machine.t3e
-  | "sp2" | "sp-2" -> Ok Machine.sp2
-  | "paragon" -> Ok Machine.paragon
-  | other ->
-      Error (Diag.errorf ~phase:"cli" "unknown machine %S (t3e|sp2|paragon)" other)
+      Error (Diag.errorf ~phase:"cli" "unknown --plan %S (greedy|search)" name)
 
 (* --stats SPEC: "json:FILE", "text:FILE", or the bare format name
    (destination defaults to stdout, spelled "-"). *)
@@ -118,60 +68,66 @@ let parse_stats = function
              "bad --stats %S (want json:FILE or text:FILE, FILE '-' for stdout)"
              spec)
 
+(* The request's source: a named benchmark, or the file's text (read
+   here so the daemon never touches the client's filesystem). *)
+let read_source bench file config tile =
+  match (bench, file) with
+  | Some name, None -> (Ok (Api.Bench { name; tile }), config)
+  | None, Some path ->
+      let config =
+        match tile with Some t -> ("n", float_of_int t) :: config | None -> config
+      in
+      ( (match In_channel.with_open_bin path In_channel.input_all with
+        | text -> Ok (Api.Text { name = path; text })
+        | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)),
+        config )
+  | Some _, Some _ ->
+      (Error (Diag.error ~phase:"cli" "give either a file or --bench, not both"),
+       config)
+  | None, None ->
+      ( Error
+          (Diag.error ~phase:"cli"
+             "nothing to compile: give a file or --bench NAME"),
+        config )
+
 (* ------------------------------------------------------------------ *)
-(* Reporting                                                           *)
+(* Dispatch: in-process engine, or a zapd daemon via --connect         *)
 (* ------------------------------------------------------------------ *)
 
-let dump_plan (c : Compilers.Driver.compiled) =
-  List.iteri
-    (fun i (bp : Sir.Scalarize.block_plan) ->
-      Format.printf "--- block %d ---@." i;
-      Format.printf "%a@." Core.Partition.pp bp.Sir.Scalarize.partition;
-      List.iter
-        (fun (x, shape) ->
-          Format.printf "contract %s -> %s@." x
-            (Core.Contraction.shape_name shape))
-        bp.Sir.Scalarize.contracted;
-      List.iter
-        (fun (ri, rep) ->
-          Format.printf "reduction %d fused into cluster P%d@." ri rep)
-        bp.Sir.Scalarize.absorbed)
-    c.Compilers.Driver.plan
+let dispatch ~connect ~jobs req =
+  match connect with
+  | Some socket -> Service.Client.roundtrip ~socket req
+  | None -> Ok (Service.Engine.handle (Service.Engine.create ~jobs ()) req)
 
-let stats_json ?spmd ?plan prog level (c : Compilers.Driver.compiled) report =
+(* ------------------------------------------------------------------ *)
+(* Response rendering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json ?spmd ?plan (s : Api.summary) report =
   let open Obs.Json in
-  let nc, nu = Compilers.Driver.contracted_counts c in
   let base =
     [
       ("schema", String "zapc/compile-report/1");
-      ("program", String prog.Ir.Prog.name);
-      ("level", String (Compilers.Driver.level_name level));
+      ("program", String s.Api.program);
+      ("level", String s.Api.level);
       ( "arrays",
         Obj
           [
-            ("total", Int (List.length prog.Ir.Prog.arrays));
-            ("contracted_compiler", Int nc);
-            ("contracted_user", Int nu);
-            ("remaining", Int (Compilers.Driver.remaining_arrays c));
+            ("total", Int s.Api.arrays_total);
+            ("contracted_compiler", Int s.Api.contracted_compiler);
+            ("contracted_user", Int s.Api.contracted_user);
+            ("remaining", Int s.Api.remaining);
           ] );
       ( "contracted",
         List
           (List.map
              (fun (x, shape) ->
-               Obj
-                 [
-                   ("array", String x);
-                   ("shape", String (Core.Contraction.shape_name shape));
-                 ])
-             c.Compilers.Driver.contracted) );
-      ("footprint_bytes", Int (Exec.Interp.footprint_bytes c.Compilers.Driver.code));
+               Obj [ ("array", String x); ("shape", String shape) ])
+             s.Api.contracted) );
+      ("footprint_bytes", Int s.Api.footprint_bytes);
     ]
   in
-  let base =
-    match spmd with
-    | Some (machine, r) -> base @ [ ("spmd", Spmd.report_json ~machine r) ]
-    | None -> base
-  in
+  let base = match spmd with Some j -> base @ [ ("spmd", j) ] | None -> base in
   let base =
     match plan with
     | Some p -> base @ [ ("plan", Plan.Driver.provenance_json p) ]
@@ -181,11 +137,10 @@ let stats_json ?spmd ?plan prog level (c : Compilers.Driver.compiled) report =
   | Obj fields -> Obj (base @ fields)
   | other -> Obj (base @ [ ("report", other) ])
 
-let write_stats ?spmd ?plan (fmt, dest) prog level c report =
+let write_stats ?spmd ?plan (fmt, dest) summary report =
   let text =
     match fmt with
-    | "json" ->
-        Obs.Json.to_string (stats_json ?spmd ?plan prog level c report) ^ "\n"
+    | "json" -> Obs.Json.to_string (stats_json ?spmd ?plan summary report) ^ "\n"
     | _ -> Format.asprintf "%a" Obs.pp_report report
   in
   if dest = "-" then begin
@@ -200,64 +155,109 @@ let write_stats ?spmd ?plan (fmt, dest) prog level c report =
         Ok ()
     | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
 
-let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
-  let* m = parse_machine machine in
-  let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
-  let r = Comm.Perf.measure cfg c in
+let print_perf ~quiet (p : Api.perf) =
   if not quiet then
     Printf.printf
-    "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
-    \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
-    \  messages %d (%d bytes)  checksum %s\n"
-    m.Machine.name procs
-    (r.Comm.Perf.time_ns /. 1e6)
-    (r.Comm.Perf.comp_ns /. 1e6)
-    (r.Comm.Perf.comm_ns /. 1e6)
-    r.Comm.Perf.flops r.Comm.Perf.loads r.Comm.Perf.stores
-    (100.0 *. Cachesim.Cache.miss_rate r.Comm.Perf.l1)
-    (match r.Comm.Perf.l2 with
-    | Some l2 ->
-        Printf.sprintf "  L2 miss %.2f%%"
-          (100.0 *. Cachesim.Cache.miss_rate l2)
-    | None -> "")
-    r.Comm.Perf.messages r.Comm.Perf.msg_bytes r.Comm.Perf.checksum;
-  if not spmd then Ok None
-  else
-    match
-      Spmd.execute
-        { Spmd.machine = m; procs; opts = Comm.Model.all_on; cachesim = true }
-        c
-    with
-    | s ->
-        let agree =
-          if
-            String.equal s.Spmd.checksum r.Comm.Perf.checksum
-            && s.Spmd.charged_messages = r.Comm.Perf.messages
-            && s.Spmd.charged_bytes = r.Comm.Perf.msg_bytes
-          then "matches model"
-          else "DIVERGES from model"
-        in
-        if not quiet then
-          Printf.printf
-          "spmd on %s x%d: time %.3f ms over %d supersteps (%s)\n\
-          \  charged %d messages (%d bytes)  wire %d messages (%d bytes)\n\
-          \  ghost fills %d  unmodeled %d  reduction messages %d%s\n\
-          \  checksum %s\n"
-          m.Machine.name procs
-          (s.Spmd.time_ns /. 1e6)
-          s.Spmd.supersteps agree s.Spmd.charged_messages s.Spmd.charged_bytes
-          s.Spmd.wire_messages s.Spmd.wire_bytes s.Spmd.ghost_fills
-          s.Spmd.unmodeled_exchanges s.Spmd.reduction_messages
-          (match s.Spmd.l1 with
-          | Some l1 ->
-              Printf.sprintf "  L1 miss %.2f%%"
-                (100.0 *. Cachesim.Cache.miss_rate l1)
-          | None -> "")
-          s.Spmd.checksum;
-        Ok (Some (m, s))
-    | exception Spmd.Unsupported msg ->
-        Error (Diag.errorf ~phase:"spmd" "unsupported: %s" msg)
-    | exception Spmd.Runtime_error msg -> Error (Diag.error ~phase:"spmd" msg)
+      "run on %s x%d: time %.3f ms (comp %.3f, comm %.3f)\n\
+      \  flops %d  loads %d  stores %d  L1 miss %.2f%%%s\n\
+      \  messages %d (%d bytes)  checksum %s\n"
+      p.Api.machine p.Api.procs
+      (p.Api.time_ns /. 1e6)
+      (p.Api.comp_ns /. 1e6)
+      (p.Api.comm_ns /. 1e6)
+      p.Api.flops p.Api.loads p.Api.stores p.Api.l1_miss_pct
+      (match p.Api.l2_miss_pct with
+      | Some pct -> Printf.sprintf "  L2 miss %.2f%%" pct
+      | None -> "")
+      p.Api.messages p.Api.msg_bytes p.Api.checksum
+
+let print_spmd ~quiet (p : Api.perf) (s : Api.spmd_summary) =
+  if not quiet then
+    Printf.printf
+      "spmd on %s x%d: time %.3f ms over %d supersteps (%s)\n\
+      \  charged %d messages (%d bytes)  wire %d messages (%d bytes)\n\
+      \  ghost fills %d  unmodeled %d  reduction messages %d%s\n\
+      \  checksum %s\n"
+      p.Api.machine p.Api.procs
+      (s.Api.spmd_time_ns /. 1e6)
+      s.Api.supersteps
+      (if s.Api.matches_model then "matches model" else "DIVERGES from model")
+      s.Api.charged_messages s.Api.charged_bytes s.Api.wire_messages
+      s.Api.wire_bytes s.Api.ghost_fills s.Api.unmodeled_exchanges
+      s.Api.reduction_messages
+      (match s.Api.spmd_l1_miss_pct with
+      | Some pct -> Printf.sprintf "  L1 miss %.2f%%" pct
+      | None -> "")
+      s.Api.spmd_checksum
+
+let render ~quiet ~emit_c_path ~stats ~recorder (s : Api.summary) provenance
+    perf_spmd =
+  if s.Api.merged_away <> [] && not quiet then
+    Printf.printf "statement merge eliminated: %s\n"
+      (String.concat ", " s.Api.merged_away);
+  Option.iter print_string s.Api.dump_ir;
+  Option.iter print_string s.Api.dump_plan;
+  Option.iter print_string s.Api.dump_c;
+  let* () =
+    match (emit_c_path, s.Api.emit_c) with
+    | Some path, Some text -> (
+        match open_out path with
+        | oc ->
+            output_string oc text;
+            close_out oc;
+            if not quiet then
+              Printf.printf "wrote %s (compile with: cc -O2 %s -lm)\n" path path;
+            Ok ()
+        | exception Sys_error m -> Error (Diag.error ~phase:"cli" m))
+    | _ -> Ok ()
+  in
+  if not quiet then begin
+    Printf.printf
+      "%s @ %s: %d statements-of-arrays, contracted %d (%d compiler / %d \
+       user), %d allocations remain, %d bytes\n"
+      s.Api.program s.Api.level s.Api.arrays_total
+      (s.Api.contracted_compiler + s.Api.contracted_user)
+      s.Api.contracted_compiler s.Api.contracted_user s.Api.remaining
+      s.Api.footprint_bytes;
+    match provenance with
+    | Some p ->
+        Printf.printf "plan %s on %s x%d: greedy %.3f ms, search %.3f ms%s\n"
+          p.Plan.Driver.strategy p.Plan.Driver.machine p.Plan.Driver.procs
+          (p.Plan.Driver.greedy_total_ns /. 1e6)
+          (p.Plan.Driver.search_total_ns /. 1e6)
+          (if p.Plan.Driver.fallback then " (kept greedy)" else "")
+    | None -> ()
+  end;
+  let spmd_report =
+    match perf_spmd with
+    | Some (perf, spmd) ->
+        print_perf ~quiet perf;
+        Option.iter (fun sp -> print_spmd ~quiet perf sp) spmd;
+        Option.map (fun sp -> sp.Api.report) spmd
+    | None -> None
+  in
+  match (recorder, stats) with
+  | Some r, Some spec ->
+      write_stats ?spmd:spmd_report ?plan:provenance spec s (Obs.report r)
+  | _ -> Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Daemon requests (--server-stats, --shutdown)                        *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_request ~connect req =
+  match connect with
+  | None ->
+      Error
+        (Diag.error ~phase:"cli"
+           "this request needs a daemon: give --connect SOCKET")
+  | Some socket -> (
+      let* resp = Service.Client.roundtrip ~socket req in
+      match resp with
+      | Api.Failed d -> Error d
+      | resp ->
+          print_endline (Obs.Json.to_string (Api.response_to_json resp));
+          Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing (--fuzz)                                       *)
@@ -270,7 +270,7 @@ let run_report ~quiet machine procs spmd (c : Compilers.Driver.compiled) =
    byte-identical at every --jobs value.  Any failure makes the run
    exit nonzero. *)
 let run_fuzz ~n ~seed ~jobs ~out ~machine =
-  let* machine = parse_machine machine in
+  let* machine = Api.machine_of_name machine in
   let cfg = { Fuzz.Oracle.default with Fuzz.Oracle.machine } in
   let* () =
     if Sys.file_exists out then
@@ -297,9 +297,14 @@ let run_fuzz ~n ~seed ~jobs ~out ~machine =
       let backends =
         String.concat ", " (List.map fst (Fuzz.Oracle.divergences final))
       in
+      (* the repro filename carries the shrunk program's content
+         address, so re-shrinks of the same underlying bug land on the
+         same file and distinct bugs from one case never collide *)
       let path =
         Filename.concat out
-          (Printf.sprintf "fuzz-seed%d-case%d.zir" seed c.Fuzz.Campaign.index)
+          (Printf.sprintf "fuzz-seed%d-case%d-%s.zir" seed
+             c.Fuzz.Campaign.index
+             (Ir.Prog.fingerprint small))
       in
       let comment =
         Printf.sprintf "zapc --fuzz: seed %d case %d\ndiverging: %s" seed
@@ -337,9 +342,11 @@ let list_levels () =
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
     dump_c emit_c run machine procs spmd trace stats plan list_levels_f fuzz
-    seed fuzz_out jobs =
+    seed fuzz_out jobs connect server_stats shutdown =
   let result =
     if list_levels_f then Ok (list_levels ())
+    else if shutdown then daemon_request ~connect Api.Shutdown
+    else if server_stats then daemon_request ~connect Api.Stats
     else
     match fuzz with
     | Some n -> run_fuzz ~n ~seed ~jobs ~out:fuzz_out ~machine
@@ -361,88 +368,41 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
        destination: keep the human summary out of the stream *)
     let quiet = stats = Some ("json", "-") in
     let* config = parse_config config in
-    let* prog = read_program bench file config tile in
-    let prog =
-      if merge then begin
-        let prog', gone = Core.Merge.run prog in
-        if gone <> [] && not quiet then
-          Printf.printf "statement merge eliminated: %s\n"
-            (String.concat ", " gone);
-        prog'
-      end
-      else prog
-    in
-    let* level = parse_level level in
+    let source, config = read_source bench file config tile in
+    let* source = source in
     let* plan_mode = parse_plan plan in
-    let* c, provenance =
-      match plan_mode with
-      | `Greedy ->
-          let* c = Compilers.Driver.compile ~level prog in
-          Ok (c, None)
-      | `Search ->
-          let* m = parse_machine machine in
-          let cost =
-            Plan.Cost.create
-              { Plan.Cost.machine = m; procs; opts = Comm.Model.all_on }
-              prog
-          in
-          let search = { Plan.Search.default with Plan.Search.jobs } in
-          let* c, prov = Plan.Driver.compile ~search ~cost prog in
-          Ok (c, Some prov)
+    let opts =
+      {
+        Api.level;
+        plan = plan_mode;
+        config;
+        merge;
+        simplify;
+        dump_ir;
+        dump_plan = dump_plan_f;
+        dump_c;
+        emit_c = emit_c <> None;
+      }
     in
-    let level = c.Compilers.Driver.level in
-    let c =
-      if simplify then
-        Obs.span "simplify" (fun () ->
-            { c with Compilers.Driver.code = Sir.Simplify.program c.Compilers.Driver.code })
-      else c
+    let target = { Api.machine; procs } in
+    let req =
+      if run then Api.Run { source; opts; target; spmd }
+      else Api.Compile { source; opts; target }
     in
-    if dump_ir then Format.printf "%a@." Ir.Prog.pp prog;
-    if dump_plan_f then dump_plan c;
-    if dump_c then Format.printf "%a@." Sir.Code.pp_c c.Compilers.Driver.code;
-    let* () =
-      match emit_c with
-      | Some path -> (
-          match open_out path with
-          | oc ->
-              output_string oc (Sir.Emit_c.to_string c.Compilers.Driver.code);
-              close_out oc;
-              if not quiet then
-                Printf.printf "wrote %s (compile with: cc -O2 %s -lm)\n" path
-                  path;
-              Ok ()
-          | exception Sys_error m -> Error (Diag.error ~phase:"cli" m))
-      | None -> Ok ()
-    in
-    if not quiet then begin
-      let nc, nu = Compilers.Driver.contracted_counts c in
-      Printf.printf
-        "%s @ %s: %d statements-of-arrays, contracted %d (%d compiler / %d \
-         user), %d allocations remain, %d bytes\n"
-        prog.Ir.Prog.name
-        (Compilers.Driver.level_name level)
-        (List.length prog.Ir.Prog.arrays)
-        (nc + nu) nc nu
-        (Compilers.Driver.remaining_arrays c)
-        (Exec.Interp.footprint_bytes c.Compilers.Driver.code);
-      match provenance with
-      | Some p ->
-          Printf.printf
-            "plan %s on %s x%d: greedy %.3f ms, search %.3f ms%s\n"
-            p.Plan.Driver.strategy p.Plan.Driver.machine p.Plan.Driver.procs
-            (p.Plan.Driver.greedy_total_ns /. 1e6)
-            (p.Plan.Driver.search_total_ns /. 1e6)
-            (if p.Plan.Driver.fallback then " (kept greedy)" else "")
-      | None -> ()
-    end;
-    let* spmd_report =
-      if run then run_report ~quiet machine procs spmd c else Ok None
-    in
-    match (recorder, stats) with
-    | Some r, Some spec ->
-        write_stats ?spmd:spmd_report ?plan:provenance spec prog level c
-          (Obs.report r)
-    | _ -> Ok ()
+    let* resp = dispatch ~connect ~jobs req in
+    match resp with
+    | Api.Failed d -> Error d
+    | Api.Compiled { summary; provenance } ->
+        render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
+          None
+    | Api.Ran { summary; provenance; perf; spmd } ->
+        render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
+          (Some (perf, spmd))
+    | Api.Planned { summary; provenance } ->
+        render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
+          None
+    | Api.Batch_reply _ | Api.Stats_reply _ | Api.Shutting_down ->
+        Error (Diag.error ~phase:"protocol" "unexpected response type")
   in
   Result.map_error (fun d -> `Msg (Diag.to_string d)) result
 
@@ -610,6 +570,31 @@ let jobs_arg =
            count).  Results are deterministic: output is byte-identical \
            at every $(docv), only the wall-clock changes.")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Send the request to a running $(b,zapd) daemon on this \
+           Unix-domain socket instead of compiling in-process.  Output is \
+           byte-identical either way; the daemon's plan cache makes \
+           repeated compiles (notably $(b,--plan search)) fast.")
+
+let server_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "server-stats" ]
+        ~doc:
+          "Print the daemon's request and plan-cache counters as one JSON \
+           line (requires $(b,--connect)).")
+
+let shutdown_arg =
+  Arg.(
+    value & flag
+    & info [ "shutdown" ]
+        ~doc:"Ask the daemon to exit cleanly (requires $(b,--connect)).")
+
 let cmd =
   let doc =
     "array-level fusion and contraction compiler (PLDI'98 reproduction)"
@@ -622,6 +607,7 @@ let cmd =
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
        $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
-       $ fuzz_arg $ seed_arg $ fuzz_out_arg $ jobs_arg))
+       $ fuzz_arg $ seed_arg $ fuzz_out_arg $ jobs_arg $ connect_arg
+       $ server_stats_arg $ shutdown_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,72 @@
+(* zapd — the persistent compile-and-run daemon.
+
+   Listens on a Unix-domain socket and serves the typed request API
+   (Service.Api) as newline-delimited JSON: compile, run, plan, batch,
+   stats, shutdown.  A long-lived zapd amortizes planning across
+   requests through the sharded LRU plan cache — the first --plan
+   search for a program pays the full branch-and-bound search, every
+   later request with the same (fingerprint, mode, machine, procs) key
+   is a lookup.  zapc --connect SOCKET is the stock client; protocol
+   grammar and operational notes live in docs/zapd.md. *)
+
+open Cmdliner
+
+let main socket shards capacity jobs quiet =
+  let engine = Service.Engine.create ~shards ~capacity ~jobs () in
+  let on_ready () =
+    if not quiet then Printf.printf "zapd: listening on %s\n%!" socket
+  in
+  match Service.Server.serve ~on_ready ~socket engine with
+  | Ok () ->
+      if not quiet then Printf.printf "zapd: shut down\n%!";
+      Ok ()
+  | Error d -> Error (`Msg (Obs.Diagnostic.to_string d))
+
+let socket_arg =
+  Arg.(
+    value & opt string "zapd.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket to listen on (a stale socket file left by a \
+           dead daemon is replaced).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Independently locked plan-cache partitions; requests on \
+           different pool domains contend only within a shard.")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "Total plan-cache entries (split evenly across shards); \
+           least-recently-used entries are evicted beyond it.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Support.Pool.default_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for batch requests and search-planner candidate \
+           costing.  Responses are byte-identical at every $(docv).")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ] ~doc:"Suppress the listening/shutdown banner.")
+
+let cmd =
+  let doc = "persistent compile-and-run daemon for the zap compiler" in
+  Cmd.v
+    (Cmd.info "zapd" ~version:"1.0" ~doc)
+    Term.(
+      term_result ~usage:false
+        (const main $ socket_arg $ shards_arg $ capacity_arg $ jobs_arg
+       $ quiet_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -325,27 +325,50 @@ let compile_with ~level ~plan_of_block prog =
           contracted = Sir.Scalarize.contracted_of_plan plan;
         }
 
-let compile ?may_fuse ?reduction_fusion ~level prog =
-  compile_with ~level prog ~plan_of_block:(fun ctx bi stmts ->
+type opts = {
+  level : level;
+  may_fuse : (block:int -> int list -> bool) option;
+  reduction_fusion : bool;
+}
+
+let default_opts = { level = C2F3; may_fuse = None; reduction_fusion = true }
+
+let opts ?may_fuse ?(reduction_fusion = true) level =
+  { level; may_fuse; reduction_fusion }
+
+let compile_opts o prog =
+  compile_with ~level:o.level prog ~plan_of_block:(fun ctx bi stmts ->
       let mf =
-        match may_fuse with
+        match o.may_fuse with
         | None -> fun _ -> true
         | Some f -> fun ss -> f ~block:bi ss
       in
-      plan_block ?reduction_fusion ~level ~may_fuse:mf ctx bi stmts)
+      plan_block ~reduction_fusion:o.reduction_fusion ~level:o.level
+        ~may_fuse:mf ctx bi stmts)
 
-let compile_custom ?(reduction_fusion = true) ?(level = C2F3) ~partition prog =
-  compile_with ~level prog ~plan_of_block:(fun ctx bi stmts ->
+let compile_custom_opts o ~partition prog =
+  compile_with ~level:o.level prog ~plan_of_block:(fun ctx bi stmts ->
       let g = Obs.span "dependence" (fun () -> Core.Asdg.build stmts) in
       let compiler_cands, user_cands = block_candidates ctx bi in
       let p = partition ~block:bi ~compiler:compiler_cands ~user:user_cands g in
-      finish_plan ~absorb:reduction_fusion ctx bi p
+      finish_plan ~absorb:o.reduction_fusion ctx bi p
         (compiler_cands @ user_cands))
 
-let compile_exn ?may_fuse ?reduction_fusion ~level prog =
-  match compile ?may_fuse ?reduction_fusion ~level prog with
+let compile_exn_opts o prog =
+  match compile_opts o prog with
   | Ok c -> c
   | Error d -> raise (Obs.Error d)
+
+(* Deprecated arities: wrappers over the _opts entry points. *)
+
+let compile ?may_fuse ?reduction_fusion ~level prog =
+  compile_opts (opts ?may_fuse ?reduction_fusion level) prog
+
+let compile_custom ?reduction_fusion ?(level = C2F3) ~partition prog =
+  compile_custom_opts (opts ?reduction_fusion level) ~partition prog
+
+let compile_exn ?may_fuse ?reduction_fusion ~level prog =
+  compile_exn_opts (opts ?may_fuse ?reduction_fusion level) prog
 
 let contracted_counts (c : compiled) =
   List.fold_left

@@ -41,16 +41,33 @@ type compiled = {
       (** every contraction performed, with its shape *)
 }
 
-val compile :
+type opts = {
+  level : level;
+  may_fuse : (block:int -> int list -> bool) option;
+      (** per-block merge veto (communication integration, §5.5) *)
+  reduction_fusion : bool;
+      (** default [true]; disabling is the ablation under which arrays
+          consumed by reductions can never contract *)
+}
+(** The single options record of the driver's canonical entry points.
+    Every knob the pipeline will ever grow lands here, so the
+    signatures of {!compile_opts} / {!compile_custom_opts} /
+    {!compile_exn_opts} never change arity again; build one with
+    {!opts} (or [{ default_opts with ... }]) to stay source-compatible
+    with future fields. *)
+
+val default_opts : opts
+(** [{ level = C2F3; may_fuse = None; reduction_fusion = true }]. *)
+
+val opts :
   ?may_fuse:(block:int -> int list -> bool) ->
   ?reduction_fusion:bool ->
-  level:level ->
-  Ir.Prog.t ->
-  (compiled, Obs.Diagnostic.t) result
-(** Optimize and scalarize.  [may_fuse] vetoes merges per basic block
-    (used for communication integration, §5.5); [reduction_fusion]
-    (default true) may be disabled as an ablation — without it, arrays
-    consumed by reductions can never contract.
+  level ->
+  opts
+(** [opts level] is {!default_opts} at [level], with any overrides. *)
+
+val compile_opts : opts -> Ir.Prog.t -> (compiled, Obs.Diagnostic.t) result
+(** Optimize and scalarize — the canonical entry point.
 
     Returns [Error d] (phase ["check"]) if the program fails
     [Ir.Prog.validate]; never raises on user input.  When an [Obs]
@@ -58,6 +75,48 @@ val compile :
     ([check], [plan] with per-block [dependence] / [fusion] /
     [reduction-fusion] / [contraction], [scalarize]) plus the fusion
     and contraction counters and events. *)
+
+val compile_custom_opts :
+  opts ->
+  partition:
+    (block:int ->
+    compiler:string list ->
+    user:string list ->
+    Core.Asdg.t ->
+    Core.Partition.t) ->
+  Ir.Prog.t ->
+  (compiled, Obs.Diagnostic.t) result
+(** The pipeline of {!compile_opts} with the fixed level ladder
+    replaced by a caller-supplied fusion strategy: for each basic
+    block the [partition] callback receives the block index, the
+    contraction candidates split by array kind, and the freshly built
+    ASDG, and returns the fusion partition to compile (it must be a
+    valid Definition 5 partition of that ASDG — e.g. one grown through
+    [Core.Partition.check_merge]).  Everything downstream — reduction
+    absorption, the reduce-read candidate filter, the contraction
+    decision, scalarization — is the standard machinery, so results
+    are directly comparable with the built-in levels.  [opts.level]
+    only labels the result for reporting ([opts.may_fuse] is unused:
+    the partitioner owns every fusion decision).  This is the entry
+    point of the search-based planner (lib/plan). *)
+
+val compile_exn_opts : opts -> Ir.Prog.t -> compiled
+(** Raising wrapper over {!compile_opts} for callers that have already
+    validated their input.  Raises [Obs.Error] with the diagnostic. *)
+
+(** {2 Deprecated arities}
+
+    The original optional/positional spellings, kept as thin wrappers
+    over the [_opts] entry points so existing call sites keep
+    compiling.  New code should pass an {!opts} record. *)
+
+val compile :
+  ?may_fuse:(block:int -> int list -> bool) ->
+  ?reduction_fusion:bool ->
+  level:level ->
+  Ir.Prog.t ->
+  (compiled, Obs.Diagnostic.t) result
+(** @deprecated Use {!compile_opts}. *)
 
 val compile_custom :
   ?reduction_fusion:bool ->
@@ -70,18 +129,7 @@ val compile_custom :
     Core.Partition.t) ->
   Ir.Prog.t ->
   (compiled, Obs.Diagnostic.t) result
-(** The pipeline of {!compile} with the fixed level ladder replaced by
-    a caller-supplied fusion strategy: for each basic block the
-    [partition] callback receives the block index, the contraction
-    candidates split by array kind, and the freshly built ASDG, and
-    returns the fusion partition to compile (it must be a valid
-    Definition 5 partition of that ASDG — e.g. one grown through
-    [Core.Partition.check_merge]).  Everything downstream — reduction
-    absorption, the reduce-read candidate filter, the contraction
-    decision, scalarization — is the standard machinery, so results
-    are directly comparable with the built-in levels.  [level]
-    (default [C2F3]) only labels the result for reporting.  This is
-    the entry point of the search-based planner (lib/plan). *)
+(** @deprecated Use {!compile_custom_opts}. *)
 
 val compile_exn :
   ?may_fuse:(block:int -> int list -> bool) ->
@@ -89,8 +137,7 @@ val compile_exn :
   level:level ->
   Ir.Prog.t ->
   compiled
-(** Thin raising wrapper over {!compile} for callers that have already
-    validated their input.  Raises [Obs.Error] with the diagnostic. *)
+(** @deprecated Use {!compile_exn_opts}. *)
 
 val contracted_counts : compiled -> int * int
 (** [(compiler, user)] arrays eliminated (Figure 7's categories). *)

@@ -188,23 +188,16 @@ let read_point r name idx =
   | Some a -> a.data.(flat_index name a idx)
   | None -> err "undefined (or contracted) array %s" name
 
+(* The shared mixer lives in Support.Hash64 (NaN canonicalization
+   included) so non-float hashes — Ir.Prog.fingerprint, the zapd cache
+   key — use the same algebra; this alias keeps the executor-facing
+   name and the float-only surface. *)
 module Digest = struct
-  type t = int64
+  type t = Support.Hash64.t
 
-  let empty = 0L
-
-  (* Every NaN hashes as the canonical quiet NaN: payloads are not
-     semantically observable and legitimately differ between backends
-     (OCaml's [**] and libm's pow produce different NaN bit patterns),
-     so mixing raw bits would flag false divergences. *)
-  let canonical_nan = 0x7FF8000000000000L
-
-  let mix d v =
-    let bits = if v <> v then canonical_nan else Int64.bits_of_float v in
-    Int64.add (Int64.mul d 6364136223846793005L)
-      (Int64.logxor bits 1442695040888963407L)
-
-  let to_hex d = Printf.sprintf "%016Lx" d
+  let empty = Support.Hash64.empty
+  let mix = Support.Hash64.mix_float
+  let to_hex = Support.Hash64.to_hex
 end
 
 let checksum r =

@@ -161,7 +161,7 @@ let run_native (code : Sir.Code.program) =
 (* ------------------------------------------------------------------ *)
 
 let compile_result ~level prog =
-  match Compilers.Driver.compile ~level prog with
+  match Compilers.Driver.(compile_opts (opts level)) prog with
   | Ok c -> Ok c
   | Error d -> Error ("compile: " ^ Obs.Diagnostic.to_string d)
   | exception e -> Error ("compile: " ^ Printexc.to_string e)

@@ -315,6 +315,116 @@ let rename_array t ~old ~new_ =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical content hash over the normalized AST, through the same
+   Support.Hash64 mixer as the executors' live-out digest.  Every
+   semantic component is folded in with an explicit constructor tag —
+   never [Hashtbl.hash], whose value is not specified across compiler
+   versions — so the fingerprint is stable: a golden test locks it.
+   The program [name] is deliberately excluded (it is reporting
+   metadata, and two textually renamed but identical programs must
+   share a zapd plan-cache entry). *)
+
+module H = Support.Hash64
+
+let unop_tag : Expr.unop -> int = function
+  | Expr.Neg -> 0
+  | Expr.Sqrt -> 1
+  | Expr.Exp -> 2
+  | Expr.Log -> 3
+  | Expr.Sin -> 4
+  | Expr.Cos -> 5
+  | Expr.Abs -> 6
+  | Expr.Floor -> 7
+  | Expr.Not -> 8
+  | Expr.Hashrand -> 9
+
+let binop_tag : Expr.binop -> int = function
+  | Expr.Add -> 0
+  | Expr.Sub -> 1
+  | Expr.Mul -> 2
+  | Expr.Div -> 3
+  | Expr.Pow -> 4
+  | Expr.Min -> 5
+  | Expr.Max -> 6
+  | Expr.Lt -> 7
+  | Expr.Le -> 8
+  | Expr.Gt -> 9
+  | Expr.Ge -> 10
+  | Expr.Eq -> 11
+  | Expr.Ne -> 12
+  | Expr.And -> 13
+  | Expr.Or -> 14
+
+let redop_tag = function Rsum -> 0 | Rprod -> 1 | Rmin -> 2 | Rmax -> 3
+
+let mix_vec h v =
+  List.fold_left H.mix_int (H.mix_int h (Support.Vec.rank v))
+    (Support.Vec.to_list v)
+
+let mix_region h (r : Region.t) =
+  Array.fold_left
+    (fun h ({ lo; hi } : Region.range) -> H.mix_int (H.mix_int h lo) hi)
+    (H.mix_int h (Region.rank r))
+    r
+
+let rec mix_expr h : Expr.t -> H.t = function
+  | Expr.Const f -> H.mix_float (H.mix_int h 1) f
+  | Expr.Svar s -> H.mix_string (H.mix_int h 2) s
+  | Expr.Ref (x, d) -> mix_vec (H.mix_string (H.mix_int h 3) x) d
+  | Expr.Idx i -> H.mix_int (H.mix_int h 4) i
+  | Expr.Unop (op, e) -> mix_expr (H.mix_int (H.mix_int h 5) (unop_tag op)) e
+  | Expr.Binop (op, a, b) ->
+      mix_expr (mix_expr (H.mix_int (H.mix_int h 6) (binop_tag op)) a) b
+  | Expr.Select (c, a, b) -> mix_expr (mix_expr (mix_expr (H.mix_int h 7) c) a) b
+
+let rec mix_stmt h = function
+  | Astmt (s : Nstmt.t) ->
+      mix_expr
+        (mix_vec
+           (H.mix_string (mix_region (H.mix_int h 1) s.Nstmt.region) s.Nstmt.lhs)
+           s.Nstmt.lhs_off)
+        s.Nstmt.rhs
+  | Reduce { target; op; region; arg } ->
+      mix_expr
+        (H.mix_string
+           (mix_region (H.mix_int (H.mix_int h 2) (redop_tag op)) region)
+           target)
+        arg
+  | Sassign (x, e) -> mix_expr (H.mix_string (H.mix_int h 3) x) e
+  | Sloop { var; lo; hi; body } ->
+      mix_stmts
+        (H.mix_int (H.mix_int (H.mix_string (H.mix_int h 4) var) lo) hi)
+        body
+
+and mix_stmts h body =
+  List.fold_left mix_stmt (H.mix_int h (List.length body)) body
+
+let fingerprint t =
+  let h = H.mix_int H.empty (List.length t.arrays) in
+  let h =
+    List.fold_left
+      (fun h (a : array_info) ->
+        mix_region
+          (H.mix_int (H.mix_string h a.name)
+             (match a.kind with User -> 0 | Compiler -> 1))
+          a.bounds)
+      h t.arrays
+  in
+  let h = H.mix_int h (List.length t.scalars) in
+  let h =
+    List.fold_left
+      (fun h (s, v) -> H.mix_float (H.mix_string h s) v)
+      h t.scalars
+  in
+  let h = mix_stmts h t.body in
+  let h = H.mix_int h (List.length t.live_out) in
+  let h = List.fold_left H.mix_string h t.live_out in
+  H.to_hex h
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 

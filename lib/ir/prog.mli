@@ -94,5 +94,16 @@ val static_array_counts : t -> int * int
 
 val rename_array : t -> old:string -> new_:string -> t
 
+val fingerprint : t -> string
+(** Canonical 16-hex-digit content hash of the normalized AST
+    (declarations with bounds and kinds, scalar initial values, every
+    statement, the live-out set — everything semantic except the
+    program's display [name]), folded through the same
+    [Support.Hash64] mixing as the executors' live-out digest.  Two
+    programs with equal fingerprints behave identically under every
+    backend; the hash is {e stable across releases} (a golden test
+    locks it) because it keys the zapd plan cache and names fuzz
+    repro files. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -15,12 +15,12 @@ type provenance = {
 }
 
 let compile ?(search = Search.default) ~cost prog =
-  match Compilers.Driver.compile ~level:Compilers.Driver.C2F3 prog with
+  match Compilers.Driver.(compile_opts default_opts) prog with
   | Error d -> Error d
   | Ok greedy -> (
       let reports = ref [] in
       let searched =
-        Compilers.Driver.compile_custom ~level:Compilers.Driver.C2F3 prog
+        Compilers.Driver.(compile_custom_opts default_opts) prog
           ~partition:(fun ~block ~compiler ~user g ->
             let p, stats =
               Search.block search cost ~block ~candidates:(compiler @ user) g

@@ -1,0 +1,807 @@
+module Json = Obs.Json
+module Diag = Obs.Diagnostic
+
+let protocol_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Request types                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type source =
+  | Bench of { name : string; tile : int option }
+  | Text of { name : string; text : string }
+
+type plan_mode = Greedy | Search
+
+let plan_mode_name = function Greedy -> "greedy" | Search -> "search"
+
+let plan_mode_of_name = function
+  | "greedy" -> Some Greedy
+  | "search" -> Some Search
+  | _ -> None
+
+type compile_opts = {
+  level : string;
+  plan : plan_mode;
+  config : (string * float) list;
+  merge : bool;
+  simplify : bool;
+  dump_ir : bool;
+  dump_plan : bool;
+  dump_c : bool;
+  emit_c : bool;
+}
+
+let default_compile_opts =
+  {
+    level = "c2+f3";
+    plan = Greedy;
+    config = [];
+    merge = false;
+    simplify = false;
+    dump_ir = false;
+    dump_plan = false;
+    dump_c = false;
+    emit_c = false;
+  }
+
+type target = { machine : string; procs : int }
+
+let default_target = { machine = "t3e"; procs = 1 }
+
+type request =
+  | Compile of { source : source; opts : compile_opts; target : target }
+  | Run of {
+      source : source;
+      opts : compile_opts;
+      target : target;
+      spmd : bool;
+    }
+  | Plan of { source : source; opts : compile_opts; target : target }
+  | Batch of request list
+  | Stats
+  | Shutdown
+
+(* ------------------------------------------------------------------ *)
+(* Response types                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  program : string;
+  level : string;
+  arrays_total : int;
+  contracted_compiler : int;
+  contracted_user : int;
+  remaining : int;
+  footprint_bytes : int;
+  contracted : (string * string) list;
+  merged_away : string list;
+  fingerprint : string;
+  dump_ir : string option;
+  dump_plan : string option;
+  dump_c : string option;
+  emit_c : string option;
+}
+
+type perf = {
+  machine : string;
+  procs : int;
+  time_ns : float;
+  comp_ns : float;
+  comm_ns : float;
+  flops : int;
+  loads : int;
+  stores : int;
+  l1_miss_pct : float;
+  l2_miss_pct : float option;
+  messages : int;
+  msg_bytes : int;
+  checksum : string;
+}
+
+type spmd_summary = {
+  spmd_time_ns : float;
+  supersteps : int;
+  matches_model : bool;
+  charged_messages : int;
+  charged_bytes : int;
+  wire_messages : int;
+  wire_bytes : int;
+  ghost_fills : int;
+  unmodeled_exchanges : int;
+  reduction_messages : int;
+  spmd_l1_miss_pct : float option;
+  spmd_checksum : string;
+  report : Json.t;
+}
+
+type cache_stats = {
+  shards : int;
+  cache_capacity : int;
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+}
+
+type server_stats = {
+  requests : (string * int) list;
+  cache : cache_stats;
+  compiles_computed : int;
+  plans_computed : int;
+}
+
+type response =
+  | Compiled of {
+      summary : summary;
+      provenance : Plan.Driver.provenance option;
+    }
+  | Ran of {
+      summary : summary;
+      provenance : Plan.Driver.provenance option;
+      perf : perf;
+      spmd : spmd_summary option;
+    }
+  | Planned of {
+      summary : summary;
+      provenance : Plan.Driver.provenance option;
+    }
+  | Batch_reply of response list
+  | Stats_reply of server_stats
+  | Shutting_down
+  | Failed of Diag.t
+
+(* ------------------------------------------------------------------ *)
+(* Shared validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let machine_of_name name =
+  match String.lowercase_ascii name with
+  | "t3e" -> Ok Machine.t3e
+  | "sp2" | "sp-2" -> Ok Machine.sp2
+  | "paragon" -> Ok Machine.paragon
+  | other ->
+      Error (Diag.errorf ~phase:"cli" "unknown machine %S (t3e|sp2|paragon)" other)
+
+let level_of_name name =
+  match Compilers.Driver.level_of_name name with
+  | Some l -> Ok l
+  | None ->
+      Error
+        (Diag.errorf ~phase:"cli"
+           "unknown level %S (baseline, f1, c1, f2, f3, c2, c2+f3, c2+f4, \
+            c2+p; '+' may be omitted)"
+           name)
+
+(* ------------------------------------------------------------------ *)
+(* Decoder combinators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let to_str = function
+  | Json.String s -> Ok s
+  | _ -> Error "expected a string"
+
+let to_int = function
+  | Json.Int i -> Ok i
+  | Json.Float f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error "expected an integer"
+
+let to_num = function
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Float f -> Ok f
+  | _ -> Error "expected a number"
+
+let to_bool = function
+  | Json.Bool b -> Ok b
+  | _ -> Error "expected a boolean"
+
+let to_list = function
+  | Json.List l -> Ok l
+  | _ -> Error "expected an array"
+
+let str_field name j = Result.bind (field name j) to_str
+let int_field name j = Result.bind (field name j) to_int
+let num_field name j = Result.bind (field name j) to_num
+let bool_field name j = Result.bind (field name j) to_bool
+
+let opt_str_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (to_str v)
+
+let opt_num_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (to_num v)
+
+let opt_int_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (to_int v)
+
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl ->
+        let* y = f x in
+        go (y :: acc) tl
+  in
+  go [] l
+
+let opt_json name v = match v with None -> [] | Some s -> [ (name, Json.String s) ]
+
+(* ------------------------------------------------------------------ *)
+(* Request codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let source_to_json = function
+  | Bench { name; tile } ->
+      Json.Obj
+        ([ ("bench", Json.String name) ]
+        @ match tile with Some t -> [ ("tile", Json.Int t) ] | None -> [])
+  | Text { name; text } ->
+      Json.Obj [ ("name", Json.String name); ("text", Json.String text) ]
+
+let source_of_json j =
+  match Json.member "bench" j with
+  | Some (Json.String name) ->
+      let* tile = opt_int_field "tile" j in
+      Ok (Bench { name; tile })
+  | Some _ -> Error "source.bench must be a string"
+  | None ->
+      let* name = str_field "name" j in
+      let* text = str_field "text" j in
+      Ok (Text { name; text })
+
+let opts_to_json (o : compile_opts) =
+  let flag name v = if v then [ (name, Json.Bool true) ] else [] in
+  Json.Obj
+    ([
+       ("level", Json.String o.level);
+       ("plan", Json.String (plan_mode_name o.plan));
+     ]
+    @ (if o.config = [] then []
+       else
+         [
+           ( "config",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) o.config) );
+         ])
+    @ flag "merge" o.merge @ flag "simplify" o.simplify
+    @ flag "dump_ir" o.dump_ir @ flag "dump_plan" o.dump_plan
+    @ flag "dump_c" o.dump_c @ flag "emit_c" o.emit_c)
+
+let opts_of_json j =
+  let d = default_compile_opts in
+  let flag name dflt =
+    match Json.member name j with
+    | None -> Ok dflt
+    | Some v -> to_bool v
+  in
+  let* level =
+    match Json.member "level" j with None -> Ok d.level | Some v -> to_str v
+  in
+  let* plan =
+    match Json.member "plan" j with
+    | None -> Ok d.plan
+    | Some v -> (
+        let* s = to_str v in
+        match plan_mode_of_name s with
+        | Some m -> Ok m
+        | None -> Error (Printf.sprintf "unknown plan mode %S" s))
+  in
+  let* config =
+    match Json.member "config" j with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+        map_result
+          (fun (k, v) ->
+            let* f = to_num v in
+            Ok (k, f))
+          kvs
+    | Some _ -> Error "config must be an object"
+  in
+  let* merge = flag "merge" d.merge in
+  let* simplify = flag "simplify" d.simplify in
+  let* dump_ir = flag "dump_ir" d.dump_ir in
+  let* dump_plan = flag "dump_plan" d.dump_plan in
+  let* dump_c = flag "dump_c" d.dump_c in
+  let* emit_c = flag "emit_c" d.emit_c in
+  Ok { level; plan; config; merge; simplify; dump_ir; dump_plan; dump_c; emit_c }
+
+let target_to_json (t : target) =
+  Json.Obj [ ("machine", Json.String t.machine); ("procs", Json.Int t.procs) ]
+
+let target_of_json = function
+  | None -> Ok default_target
+  | Some j ->
+      let* machine =
+        match Json.member "machine" j with
+        | None -> Ok default_target.machine
+        | Some v -> to_str v
+      in
+      let* procs =
+        match Json.member "procs" j with
+        | None -> Ok default_target.procs
+        | Some v -> to_int v
+      in
+      Ok { machine; procs }
+
+let rec request_to_json = function
+  | Compile { source; opts; target } ->
+      Json.Obj
+        [
+          ("op", Json.String "compile");
+          ("source", source_to_json source);
+          ("opts", opts_to_json opts);
+          ("target", target_to_json target);
+        ]
+  | Run { source; opts; target; spmd } ->
+      Json.Obj
+        ([
+           ("op", Json.String "run");
+           ("source", source_to_json source);
+           ("opts", opts_to_json opts);
+           ("target", target_to_json target);
+         ]
+        @ if spmd then [ ("spmd", Json.Bool true) ] else [])
+  | Plan { source; opts; target } ->
+      Json.Obj
+        [
+          ("op", Json.String "plan");
+          ("source", source_to_json source);
+          ("opts", opts_to_json opts);
+          ("target", target_to_json target);
+        ]
+  | Batch reqs ->
+      Json.Obj
+        [
+          ("op", Json.String "batch");
+          ("requests", Json.List (List.map request_to_json reqs));
+        ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let rec request_of_json j =
+  let* () =
+    match Json.member "v" j with
+    | None -> Ok ()
+    | Some (Json.Int v) when v = protocol_version -> Ok ()
+    | Some (Json.Int v) ->
+        Error
+          (Printf.sprintf "protocol version %d not supported (this is %d)" v
+             protocol_version)
+    | Some _ -> Error "v must be an integer"
+  in
+  let* op = str_field "op" j in
+  let sot () =
+    let* sj = field "source" j in
+    let* source = source_of_json sj in
+    let* opts =
+      match Json.member "opts" j with
+      | None -> Ok default_compile_opts
+      | Some oj -> opts_of_json oj
+    in
+    let* target = target_of_json (Json.member "target" j) in
+    Ok (source, opts, target)
+  in
+  match op with
+  | "compile" ->
+      let* source, opts, target = sot () in
+      Ok (Compile { source; opts; target })
+  | "run" ->
+      let* source, opts, target = sot () in
+      let* spmd =
+        match Json.member "spmd" j with None -> Ok false | Some v -> to_bool v
+      in
+      Ok (Run { source; opts; target; spmd })
+  | "plan" ->
+      let* source, opts, target = sot () in
+      Ok (Plan { source; opts; target })
+  | "batch" ->
+      let* rs = Result.bind (field "requests" j) to_list in
+      let* reqs = map_result request_of_json rs in
+      Ok (Batch reqs)
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+let request_of_line line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "bad request line: %s" e)
+  | Ok j -> request_of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Provenance codec (inverse of Plan.Driver.provenance_json)           *)
+(* ------------------------------------------------------------------ *)
+
+let provenance_of_json j =
+  let* strategy = str_field "strategy" j in
+  let* machine = str_field "machine" j in
+  let* procs = int_field "procs" j in
+  let* greedy_total_ns = num_field "greedy_total_ns" j in
+  let* search_total_ns = num_field "search_total_ns" j in
+  let* chosen_total_ns = num_field "chosen_total_ns" j in
+  let* fallback = bool_field "fallback" j in
+  let* bs = Result.bind (field "blocks" j) to_list in
+  let* blocks =
+    map_result
+      (fun bj ->
+        let* block = int_field "block" bj in
+        let* expanded = int_field "expanded" bj in
+        let* generated = int_field "generated" bj in
+        let* pruned = int_field "pruned" bj in
+        let* deduped = int_field "deduped" bj in
+        let* beam_rounds = int_field "beam_rounds" bj in
+        let* greedy_ns = num_field "greedy_ns" bj in
+        let* best_ns = num_field "best_ns" bj in
+        let* improved = bool_field "improved" bj in
+        Ok
+          {
+            Plan.Driver.block;
+            stats =
+              {
+                Plan.Search.expanded;
+                generated;
+                pruned;
+                deduped;
+                beam_rounds;
+                greedy_ns;
+                best_ns;
+                improved;
+              };
+          })
+      bs
+  in
+  Ok
+    {
+      Plan.Driver.strategy;
+      machine;
+      procs;
+      greedy_total_ns;
+      search_total_ns;
+      chosen_total_ns;
+      fallback;
+      blocks;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Response codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    ([
+       ("program", Json.String s.program);
+       ("level", Json.String s.level);
+       ("arrays_total", Json.Int s.arrays_total);
+       ("contracted_compiler", Json.Int s.contracted_compiler);
+       ("contracted_user", Json.Int s.contracted_user);
+       ("remaining", Json.Int s.remaining);
+       ("footprint_bytes", Json.Int s.footprint_bytes);
+       ( "contracted",
+         Json.List
+           (List.map
+              (fun (x, shape) ->
+                Json.Obj
+                  [ ("array", Json.String x); ("shape", Json.String shape) ])
+              s.contracted) );
+       ("merged_away", Json.List (List.map (fun x -> Json.String x) s.merged_away));
+       ("fingerprint", Json.String s.fingerprint);
+     ]
+    @ opt_json "dump_ir" s.dump_ir
+    @ opt_json "dump_plan" s.dump_plan
+    @ opt_json "dump_c" s.dump_c
+    @ opt_json "emit_c" s.emit_c)
+
+let summary_of_json j =
+  let* program = str_field "program" j in
+  let* level = str_field "level" j in
+  let* arrays_total = int_field "arrays_total" j in
+  let* contracted_compiler = int_field "contracted_compiler" j in
+  let* contracted_user = int_field "contracted_user" j in
+  let* remaining = int_field "remaining" j in
+  let* footprint_bytes = int_field "footprint_bytes" j in
+  let* cs = Result.bind (field "contracted" j) to_list in
+  let* contracted =
+    map_result
+      (fun cj ->
+        let* x = str_field "array" cj in
+        let* shape = str_field "shape" cj in
+        Ok (x, shape))
+      cs
+  in
+  let* ms = Result.bind (field "merged_away" j) to_list in
+  let* merged_away = map_result to_str ms in
+  let* fingerprint = str_field "fingerprint" j in
+  let* dump_ir = opt_str_field "dump_ir" j in
+  let* dump_plan = opt_str_field "dump_plan" j in
+  let* dump_c = opt_str_field "dump_c" j in
+  let* emit_c = opt_str_field "emit_c" j in
+  Ok
+    {
+      program;
+      level;
+      arrays_total;
+      contracted_compiler;
+      contracted_user;
+      remaining;
+      footprint_bytes;
+      contracted;
+      merged_away;
+      fingerprint;
+      dump_ir;
+      dump_plan;
+      dump_c;
+      emit_c;
+    }
+
+let perf_to_json (p : perf) =
+  Json.Obj
+    ([
+       ("machine", Json.String p.machine);
+       ("procs", Json.Int p.procs);
+       ("time_ns", Json.Float p.time_ns);
+       ("comp_ns", Json.Float p.comp_ns);
+       ("comm_ns", Json.Float p.comm_ns);
+       ("flops", Json.Int p.flops);
+       ("loads", Json.Int p.loads);
+       ("stores", Json.Int p.stores);
+       ("l1_miss_pct", Json.Float p.l1_miss_pct);
+     ]
+    @ (match p.l2_miss_pct with
+      | Some v -> [ ("l2_miss_pct", Json.Float v) ]
+      | None -> [])
+    @ [
+        ("messages", Json.Int p.messages);
+        ("msg_bytes", Json.Int p.msg_bytes);
+        ("checksum", Json.String p.checksum);
+      ])
+
+let perf_of_json j =
+  let* machine = str_field "machine" j in
+  let* procs = int_field "procs" j in
+  let* time_ns = num_field "time_ns" j in
+  let* comp_ns = num_field "comp_ns" j in
+  let* comm_ns = num_field "comm_ns" j in
+  let* flops = int_field "flops" j in
+  let* loads = int_field "loads" j in
+  let* stores = int_field "stores" j in
+  let* l1_miss_pct = num_field "l1_miss_pct" j in
+  let* l2_miss_pct = opt_num_field "l2_miss_pct" j in
+  let* messages = int_field "messages" j in
+  let* msg_bytes = int_field "msg_bytes" j in
+  let* checksum = str_field "checksum" j in
+  Ok
+    {
+      machine;
+      procs;
+      time_ns;
+      comp_ns;
+      comm_ns;
+      flops;
+      loads;
+      stores;
+      l1_miss_pct;
+      l2_miss_pct;
+      messages;
+      msg_bytes;
+      checksum;
+    }
+
+let spmd_to_json (s : spmd_summary) =
+  Json.Obj
+    ([
+       ("time_ns", Json.Float s.spmd_time_ns);
+       ("supersteps", Json.Int s.supersteps);
+       ("matches_model", Json.Bool s.matches_model);
+       ("charged_messages", Json.Int s.charged_messages);
+       ("charged_bytes", Json.Int s.charged_bytes);
+       ("wire_messages", Json.Int s.wire_messages);
+       ("wire_bytes", Json.Int s.wire_bytes);
+       ("ghost_fills", Json.Int s.ghost_fills);
+       ("unmodeled_exchanges", Json.Int s.unmodeled_exchanges);
+       ("reduction_messages", Json.Int s.reduction_messages);
+     ]
+    @ (match s.spmd_l1_miss_pct with
+      | Some v -> [ ("l1_miss_pct", Json.Float v) ]
+      | None -> [])
+    @ [ ("checksum", Json.String s.spmd_checksum); ("report", s.report) ])
+
+let spmd_of_json j =
+  let* spmd_time_ns = num_field "time_ns" j in
+  let* supersteps = int_field "supersteps" j in
+  let* matches_model = bool_field "matches_model" j in
+  let* charged_messages = int_field "charged_messages" j in
+  let* charged_bytes = int_field "charged_bytes" j in
+  let* wire_messages = int_field "wire_messages" j in
+  let* wire_bytes = int_field "wire_bytes" j in
+  let* ghost_fills = int_field "ghost_fills" j in
+  let* unmodeled_exchanges = int_field "unmodeled_exchanges" j in
+  let* reduction_messages = int_field "reduction_messages" j in
+  let* spmd_l1_miss_pct = opt_num_field "l1_miss_pct" j in
+  let* spmd_checksum = str_field "checksum" j in
+  let* report = field "report" j in
+  Ok
+    {
+      spmd_time_ns;
+      supersteps;
+      matches_model;
+      charged_messages;
+      charged_bytes;
+      wire_messages;
+      wire_bytes;
+      ghost_fills;
+      unmodeled_exchanges;
+      reduction_messages;
+      spmd_l1_miss_pct;
+      spmd_checksum;
+      report;
+    }
+
+let stats_to_json (s : server_stats) =
+  Json.Obj
+    [
+      ( "requests",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.requests) );
+      ( "cache",
+        Json.Obj
+          [
+            ("shards", Json.Int s.cache.shards);
+            ("capacity", Json.Int s.cache.cache_capacity);
+            ("entries", Json.Int s.cache.entries);
+            ("hits", Json.Int s.cache.hits);
+            ("misses", Json.Int s.cache.misses);
+            ("evictions", Json.Int s.cache.evictions);
+            ("insertions", Json.Int s.cache.insertions);
+          ] );
+      ("compiles_computed", Json.Int s.compiles_computed);
+      ("plans_computed", Json.Int s.plans_computed);
+    ]
+
+let stats_of_json j =
+  let* rj = field "requests" j in
+  let* requests =
+    match rj with
+    | Json.Obj kvs ->
+        map_result
+          (fun (k, v) ->
+            let* n = to_int v in
+            Ok (k, n))
+          kvs
+    | _ -> Error "requests must be an object"
+  in
+  let* cj = field "cache" j in
+  let* shards = int_field "shards" cj in
+  let* cache_capacity = int_field "capacity" cj in
+  let* entries = int_field "entries" cj in
+  let* hits = int_field "hits" cj in
+  let* misses = int_field "misses" cj in
+  let* evictions = int_field "evictions" cj in
+  let* insertions = int_field "insertions" cj in
+  let* compiles_computed = int_field "compiles_computed" j in
+  let* plans_computed = int_field "plans_computed" j in
+  Ok
+    {
+      requests;
+      cache =
+        { shards; cache_capacity; entries; hits; misses; evictions; insertions };
+      compiles_computed;
+      plans_computed;
+    }
+
+let diag_of_json j =
+  let* severity = str_field "severity" j in
+  let* phase = str_field "phase" j in
+  let* message = str_field "message" j in
+  let* file = opt_str_field "file" j in
+  let* line = opt_int_field "line" j in
+  let loc = match (file, line) with Some f, Some l -> Some (f, l) | _ -> None in
+  match severity with
+  | "error" -> Ok (Diag.error ?loc ~phase message)
+  | "warning" -> Ok (Diag.warning ?loc ~phase message)
+  | other -> Error (Printf.sprintf "unknown severity %S" other)
+
+let prov_json name = function
+  | None -> []
+  | Some p -> [ (name, Plan.Driver.provenance_json p) ]
+
+let rec response_to_json = function
+  | Compiled { summary; provenance } ->
+      Json.Obj
+        ([
+           ("ok", Json.Bool true);
+           ("type", Json.String "compiled");
+           ("summary", summary_to_json summary);
+         ]
+        @ prov_json "provenance" provenance)
+  | Ran { summary; provenance; perf; spmd } ->
+      Json.Obj
+        ([
+           ("ok", Json.Bool true);
+           ("type", Json.String "ran");
+           ("summary", summary_to_json summary);
+         ]
+        @ prov_json "provenance" provenance
+        @ [ ("perf", perf_to_json perf) ]
+        @ match spmd with Some s -> [ ("spmd", spmd_to_json s) ] | None -> [])
+  | Planned { summary; provenance } ->
+      Json.Obj
+        ([
+           ("ok", Json.Bool true);
+           ("type", Json.String "planned");
+           ("summary", summary_to_json summary);
+         ]
+        @ prov_json "provenance" provenance)
+  | Batch_reply rs ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("type", Json.String "batch");
+          ("responses", Json.List (List.map response_to_json rs));
+        ]
+  | Stats_reply s ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("type", Json.String "stats");
+          ("stats", stats_to_json s);
+        ]
+  | Shutting_down ->
+      Json.Obj [ ("ok", Json.Bool true); ("type", Json.String "shutting-down") ]
+  | Failed d ->
+      Json.Obj [ ("ok", Json.Bool false); ("error", Diag.to_json d) ]
+
+let rec response_of_json j =
+  let* ok = bool_field "ok" j in
+  if not ok then
+    let* dj = field "error" j in
+    let* d = diag_of_json dj in
+    Ok (Failed d)
+  else
+    let* ty = str_field "type" j in
+    let prov () =
+      match Json.member "provenance" j with
+      | None -> Ok None
+      | Some pj -> Result.map Option.some (provenance_of_json pj)
+    in
+    match ty with
+    | "compiled" ->
+        let* sj = field "summary" j in
+        let* summary = summary_of_json sj in
+        let* provenance = prov () in
+        Ok (Compiled { summary; provenance })
+    | "planned" ->
+        let* sj = field "summary" j in
+        let* summary = summary_of_json sj in
+        let* provenance = prov () in
+        Ok (Planned { summary; provenance })
+    | "ran" ->
+        let* sj = field "summary" j in
+        let* summary = summary_of_json sj in
+        let* provenance = prov () in
+        let* pj = field "perf" j in
+        let* perf = perf_of_json pj in
+        let* spmd =
+          match Json.member "spmd" j with
+          | None -> Ok None
+          | Some sp -> Result.map Option.some (spmd_of_json sp)
+        in
+        Ok (Ran { summary; provenance; perf; spmd })
+    | "batch" ->
+        let* rs = Result.bind (field "responses" j) to_list in
+        let* responses = map_result response_of_json rs in
+        Ok (Batch_reply responses)
+    | "stats" ->
+        let* sj = field "stats" j in
+        let* stats = stats_of_json sj in
+        Ok (Stats_reply stats)
+    | "shutting-down" -> Ok Shutting_down
+    | other -> Error (Printf.sprintf "unknown response type %S" other)

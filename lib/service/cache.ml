@@ -1,0 +1,150 @@
+type key = {
+  fingerprint : string;
+  mode : string;
+  machine : string;
+  procs : int;
+}
+
+let key_to_string k =
+  Printf.sprintf "%s/%s@%sx%d" k.fingerprint k.mode k.machine k.procs
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  entries : int;
+}
+
+(* One shard: a hash table plus an LRU clock.  Entries carry the tick
+   of their last touch; eviction scans for the minimum, which is exact
+   LRU at O(shard size) per eviction — shards are bounded at a few
+   dozen entries, so the scan is cheaper than maintaining an intrusive
+   list and much harder to get wrong under concurrency. *)
+type 'v shard = {
+  lock : Mutex.t;
+  table : (string, 'v entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+and 'v entry = { value : 'v; mutable tick : int }
+
+type 'v t = {
+  shard_arr : 'v shard array;
+  per_shard : int;  (* capacity bound of each shard *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  insertions : int Atomic.t;
+}
+
+let create ?(shards = 8) ?(capacity = 256) () =
+  let shards = max 1 shards in
+  let per_shard = max 1 ((capacity + shards - 1) / shards) in
+  {
+    shard_arr =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create (per_shard * 2);
+            clock = 0;
+          });
+    per_shard;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    insertions = Atomic.make 0;
+  }
+
+let shards t = Array.length t.shard_arr
+
+let capacity t = t.per_shard * shards t
+
+(* Stable shard assignment: Support.Hash64 over the canonical key
+   string (never [Hashtbl.hash], which is not pinned across compiler
+   versions). *)
+let shard_of t k =
+  let h = Support.Hash64.(mix_string empty (key_to_string k)) in
+  Int64.to_int (Int64.unsigned_rem h (Int64.of_int (shards t)))
+
+let bump a = Atomic.incr a
+
+let find t k =
+  let s = t.shard_arr.(shard_of t k) in
+  let ks = key_to_string k in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.table ks with
+      | Some e ->
+          s.clock <- s.clock + 1;
+          e.tick <- s.clock;
+          bump t.hits;
+          Some e.value
+      | None ->
+          bump t.misses;
+          None)
+
+let peek t k =
+  let s = t.shard_arr.(shard_of t k) in
+  let ks = key_to_string k in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.table ks with
+      | Some e ->
+          s.clock <- s.clock + 1;
+          e.tick <- s.clock;
+          Some e.value
+      | None -> None)
+
+let evict_lru t (s : _ shard) =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun ks e ->
+      match !victim with
+      | Some (_, best) when best.tick <= e.tick -> ()
+      | _ -> victim := Some (ks, e))
+    s.table;
+  match !victim with
+  | Some (ks, _) ->
+      Hashtbl.remove s.table ks;
+      bump t.evictions
+  | None -> ()
+
+let add t k v =
+  let s = t.shard_arr.(shard_of t k) in
+  let ks = key_to_string k in
+  Mutex.protect s.lock (fun () ->
+      (* first writer wins: a racing double-miss computed the same
+         (deterministic) value twice; re-inserting would only churn
+         the LRU order *)
+      if not (Hashtbl.mem s.table ks) then begin
+        if Hashtbl.length s.table >= t.per_shard then evict_lru t s;
+        s.clock <- s.clock + 1;
+        Hashtbl.replace s.table ks { value = v; tick = s.clock };
+        bump t.insertions
+      end)
+
+let find_or_add t k produce =
+  match find t k with
+  | Some v -> v
+  | None ->
+      let v = produce () in
+      add t k v;
+      v
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    evictions = Atomic.get t.evictions;
+    insertions = Atomic.get t.insertions;
+    entries =
+      Array.fold_left
+        (fun acc s ->
+          acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.table))
+        0 t.shard_arr;
+  }
+
+let entries_per_shard t =
+  Array.to_list
+    (Array.map
+       (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.length s.table))
+       t.shard_arr)

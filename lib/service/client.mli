@@ -1,0 +1,9 @@
+(** The client side of the wire: what [zapc --connect] speaks.
+
+    One call, one exchange — connect, send the request line, read the
+    response line, close.  All transport and protocol failures come
+    back as diagnostics (phase ["connect"]), so the CLI reports a dead
+    daemon exactly like any other error. *)
+
+val roundtrip :
+  socket:string -> Api.request -> (Api.response, Obs.Diagnostic.t) result

@@ -1,0 +1,453 @@
+module Diag = Obs.Diagnostic
+
+let ( let* ) = Result.bind
+
+type cached = Compilers.Driver.compiled * Plan.Driver.provenance option
+
+type t = {
+  pool_jobs : int;
+  cache : cached Cache.t;
+  req_compile : int Atomic.t;
+  req_run : int Atomic.t;
+  req_plan : int Atomic.t;
+  req_batch : int Atomic.t;
+  req_stats : int Atomic.t;
+  req_shutdown : int Atomic.t;
+  compiles_computed : int Atomic.t;
+  plans_computed : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  (* last values mirrored into Obs, so each sync advances counters by
+     the delta only (serving domain; guarded for safety) *)
+  mirror_lock : Mutex.t;
+  mirrored : (string, int) Hashtbl.t;
+  (* keys whose value is being computed right now: concurrent misses
+     on one key coalesce onto the first computer instead of redoing a
+     multi-second search per domain *)
+  inflight_lock : Mutex.t;
+  inflight_cond : Condition.t;
+  inflight : (string, unit) Hashtbl.t;
+}
+
+let create ?shards ?capacity ?(jobs = Support.Pool.default_domains ()) () =
+  {
+    pool_jobs = max 1 jobs;
+    cache = Cache.create ?shards ?capacity ();
+    req_compile = Atomic.make 0;
+    req_run = Atomic.make 0;
+    req_plan = Atomic.make 0;
+    req_batch = Atomic.make 0;
+    req_stats = Atomic.make 0;
+    req_shutdown = Atomic.make 0;
+    compiles_computed = Atomic.make 0;
+    plans_computed = Atomic.make 0;
+    protocol_errors = Atomic.make 0;
+    mirror_lock = Mutex.create ();
+    mirrored = Hashtbl.create 16;
+    inflight_lock = Mutex.create ();
+    inflight_cond = Condition.create ();
+    inflight = Hashtbl.create 8;
+  }
+
+let jobs t = t.pool_jobs
+
+let cache_stats t = Cache.stats t.cache
+
+let note_protocol_error t = Atomic.incr t.protocol_errors
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let counter_values t =
+  let cs = Cache.stats t.cache in
+  [
+    (Metrics.request_compile, Atomic.get t.req_compile);
+    (Metrics.request_run, Atomic.get t.req_run);
+    (Metrics.request_plan, Atomic.get t.req_plan);
+    (Metrics.request_batch, Atomic.get t.req_batch);
+    (Metrics.request_stats, Atomic.get t.req_stats);
+    (Metrics.request_shutdown, Atomic.get t.req_shutdown);
+    (Metrics.cache_hit, cs.Cache.hits);
+    (Metrics.cache_miss, cs.Cache.misses);
+    (Metrics.cache_eviction, cs.Cache.evictions);
+    (Metrics.cache_insertion, cs.Cache.insertions);
+    (Metrics.compile_computed, Atomic.get t.compiles_computed);
+    (Metrics.plan_computed, Atomic.get t.plans_computed);
+    (Metrics.protocol_error, Atomic.get t.protocol_errors);
+  ]
+
+let sync_obs t =
+  if Obs.enabled () then begin
+    Mutex.protect t.mirror_lock (fun () ->
+        List.iter
+          (fun (key, now) ->
+            let before =
+              Option.value ~default:0 (Hashtbl.find_opt t.mirrored key)
+            in
+            if now > before then begin
+              Obs.count key (now - before);
+              Hashtbl.replace t.mirrored key now
+            end)
+          (counter_values t))
+  end
+
+let server_stats t =
+  let cs = Cache.stats t.cache in
+  {
+    Api.requests =
+      List.sort compare
+        [
+          (Metrics.request_compile, Atomic.get t.req_compile);
+          (Metrics.request_run, Atomic.get t.req_run);
+          (Metrics.request_plan, Atomic.get t.req_plan);
+          (Metrics.request_batch, Atomic.get t.req_batch);
+          (Metrics.request_stats, Atomic.get t.req_stats);
+          (Metrics.request_shutdown, Atomic.get t.req_shutdown);
+        ];
+    cache =
+      {
+        Api.shards = Cache.shards t.cache;
+        cache_capacity = Cache.capacity t.cache;
+        entries = cs.Cache.entries;
+        hits = cs.Cache.hits;
+        misses = cs.Cache.misses;
+        evictions = cs.Cache.evictions;
+        insertions = cs.Cache.insertions;
+      };
+    compiles_computed = Atomic.get t.compiles_computed;
+    plans_computed = Atomic.get t.plans_computed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Source resolution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Zap frontend exceptions → diagnostics, exactly as zapc reports
+   them (the CLI golden tests pin the rendering). *)
+let catching_zap ~input f =
+  match f () with
+  | v -> Ok v
+  | exception Zap.Elaborate.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"elaborate" m)
+  | exception Zap.Parser.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"parse" m)
+  | exception Zap.Lexer.Error (line, m) ->
+      Error (Diag.error ~loc:(input, line) ~phase:"lex" m)
+  | exception Sys_error m -> Error (Diag.error ~phase:"cli" m)
+
+let read_source (opts : Api.compile_opts) = function
+  | Api.Bench { name; tile } -> (
+      match Suite.by_name name with
+      | Some b ->
+          catching_zap ~input:("--bench " ^ name) (fun () ->
+              Suite.program ?tile ~config:opts.Api.config b)
+      | None ->
+          Error
+            (Diag.errorf ~phase:"cli" "unknown benchmark %S (have: %s)" name
+               (String.concat ", "
+                  (List.map (fun b -> b.Suite.name) Suite.all))))
+  | Api.Text { name; text } ->
+      catching_zap ~input:name (fun () ->
+          Zap.Elaborate.compile_string ~config:opts.Api.config text)
+
+(* ------------------------------------------------------------------ *)
+(* Compile path (the cached part)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key ~fingerprint ~level ~(opts : Api.compile_opts)
+    ~(target : Api.target) =
+  match opts.Api.plan with
+  | Api.Greedy ->
+      (* the greedy ladder never consults the machine model: one entry
+         serves every target *)
+      Ok
+        {
+          Cache.fingerprint;
+          mode = "greedy:" ^ Compilers.Driver.level_name level;
+          machine = "-";
+          procs = 0;
+        }
+  | Api.Search ->
+      let* m = Api.machine_of_name target.Api.machine in
+      Ok
+        {
+          Cache.fingerprint;
+          mode = "search";
+          machine = m.Machine.name;
+          procs = target.Api.procs;
+        }
+
+let compute t ~search_jobs ~level ~(opts : Api.compile_opts)
+    ~(target : Api.target) prog =
+  match opts.Api.plan with
+  | Api.Greedy ->
+      Atomic.incr t.compiles_computed;
+      let* c =
+        Compilers.Driver.compile_opts (Compilers.Driver.opts level) prog
+      in
+      Ok (c, None)
+  | Api.Search ->
+      Atomic.incr t.compiles_computed;
+      Atomic.incr t.plans_computed;
+      let* m = Api.machine_of_name target.Api.machine in
+      let cost =
+        Plan.Cost.create
+          {
+            Plan.Cost.machine = m;
+            procs = target.Api.procs;
+            opts = Comm.Model.all_on;
+          }
+          prog
+      in
+      let search = { Plan.Search.default with Plan.Search.jobs = search_jobs } in
+      let* c, prov = Plan.Driver.compile ~search ~cost prog in
+      Ok (c, Some prov)
+
+let cached_compile t ~search_jobs ~level ~opts ~target prog =
+  let fingerprint = Ir.Prog.fingerprint prog in
+  let* key = cache_key ~fingerprint ~level ~opts ~target in
+  let* c, prov =
+    match Cache.find t.cache key with
+    | Some v -> Ok v
+    | None -> (
+        (* miss: claim the key, or wait for whichever domain already
+           claimed it and take its cached result.  Compute happens
+           outside both the shard lock and the inflight lock; only
+           successes are cached, so a failing program re-reports its
+           diagnostic on every request. *)
+        Mutex.lock t.inflight_lock;
+        let ks = Cache.key_to_string key in
+        while Hashtbl.mem t.inflight ks do
+          Condition.wait t.inflight_cond t.inflight_lock
+        done;
+        (* peek, not find: this lookup was already counted as a miss
+           above — a waiter finding the freshly computed value must
+           not skew the hit/miss accounting *)
+        match Cache.peek t.cache key with
+        | Some v ->
+            Mutex.unlock t.inflight_lock;
+            Ok v
+        | None ->
+            Hashtbl.add t.inflight ks ();
+            Mutex.unlock t.inflight_lock;
+            let release () =
+              Mutex.lock t.inflight_lock;
+              Hashtbl.remove t.inflight ks;
+              Condition.broadcast t.inflight_cond;
+              Mutex.unlock t.inflight_lock
+            in
+            Fun.protect ~finally:release (fun () ->
+                let* v = compute t ~search_jobs ~level ~opts ~target prog in
+                Cache.add t.cache key v;
+                Ok v))
+  in
+  Ok (fingerprint, c, prov)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers (server side, so remote replies carry the exact
+   bytes zapc prints)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let render_fmt f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let render_plan (c : Compilers.Driver.compiled) =
+  render_fmt (fun ppf ->
+      List.iteri
+        (fun i (bp : Sir.Scalarize.block_plan) ->
+          Format.fprintf ppf "--- block %d ---@." i;
+          Format.fprintf ppf "%a@." Core.Partition.pp bp.Sir.Scalarize.partition;
+          List.iter
+            (fun (x, shape) ->
+              Format.fprintf ppf "contract %s -> %s@." x
+                (Core.Contraction.shape_name shape))
+            bp.Sir.Scalarize.contracted;
+          List.iter
+            (fun (ri, rep) ->
+              Format.fprintf ppf "reduction %d fused into cluster P%d@." ri rep)
+            bp.Sir.Scalarize.absorbed)
+        c.Compilers.Driver.plan)
+
+let summary_of ~fingerprint ~merged_away ~(opts : Api.compile_opts) prog
+    (c : Compilers.Driver.compiled) =
+  let nc, nu = Compilers.Driver.contracted_counts c in
+  {
+    Api.program = prog.Ir.Prog.name;
+    level = Compilers.Driver.level_name c.Compilers.Driver.level;
+    arrays_total = List.length prog.Ir.Prog.arrays;
+    contracted_compiler = nc;
+    contracted_user = nu;
+    remaining = Compilers.Driver.remaining_arrays c;
+    footprint_bytes = Exec.Interp.footprint_bytes c.Compilers.Driver.code;
+    contracted =
+      List.map
+        (fun (x, shape) -> (x, Core.Contraction.shape_name shape))
+        c.Compilers.Driver.contracted;
+    merged_away;
+    fingerprint;
+    dump_ir =
+      (if opts.Api.dump_ir then
+         Some (render_fmt (fun ppf -> Format.fprintf ppf "%a@." Ir.Prog.pp prog))
+       else None);
+    dump_plan = (if opts.Api.dump_plan then Some (render_plan c) else None);
+    dump_c =
+      (if opts.Api.dump_c then
+         Some
+           (render_fmt (fun ppf ->
+                Format.fprintf ppf "%a@." Sir.Code.pp_c
+                  c.Compilers.Driver.code))
+       else None);
+    emit_c =
+      (if opts.Api.emit_c then
+         Some (Sir.Emit_c.to_string c.Compilers.Driver.code)
+       else None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Elaborate + (merge) + cached compile + per-request finish work —
+   the shared body of Compile/Run/Plan. *)
+let compiled_of t ~search_jobs ~(opts : Api.compile_opts) ~target source =
+  let* prog = read_source opts source in
+  let prog, merged_away =
+    if opts.Api.merge then Core.Merge.run prog else (prog, [])
+  in
+  let* level = Api.level_of_name opts.Api.level in
+  let* fingerprint, c, prov =
+    cached_compile t ~search_jobs ~level ~opts ~target prog
+  in
+  let c =
+    if opts.Api.simplify then
+      Obs.span "simplify" (fun () ->
+          {
+            c with
+            Compilers.Driver.code = Sir.Simplify.program c.Compilers.Driver.code;
+          })
+    else c
+  in
+  Ok (prog, summary_of ~fingerprint ~merged_away ~opts prog c, c, prov)
+
+let perf_of ~(m : Machine.t) ~procs (c : Compilers.Driver.compiled) =
+  let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
+  let r = Comm.Perf.measure cfg c in
+  ( r,
+    {
+      Api.machine = m.Machine.name;
+      procs;
+      time_ns = r.Comm.Perf.time_ns;
+      comp_ns = r.Comm.Perf.comp_ns;
+      comm_ns = r.Comm.Perf.comm_ns;
+      flops = r.Comm.Perf.flops;
+      loads = r.Comm.Perf.loads;
+      stores = r.Comm.Perf.stores;
+      l1_miss_pct = 100.0 *. Cachesim.Cache.miss_rate r.Comm.Perf.l1;
+      l2_miss_pct =
+        Option.map
+          (fun l2 -> 100.0 *. Cachesim.Cache.miss_rate l2)
+          r.Comm.Perf.l2;
+      messages = r.Comm.Perf.messages;
+      msg_bytes = r.Comm.Perf.msg_bytes;
+      checksum = r.Comm.Perf.checksum;
+    } )
+
+let spmd_of ~(m : Machine.t) ~procs (r : Comm.Perf.report)
+    (c : Compilers.Driver.compiled) =
+  match
+    Spmd.execute
+      { Spmd.machine = m; procs; opts = Comm.Model.all_on; cachesim = true }
+      c
+  with
+  | s ->
+      Ok
+        {
+          Api.spmd_time_ns = s.Spmd.time_ns;
+          supersteps = s.Spmd.supersteps;
+          matches_model =
+            String.equal s.Spmd.checksum r.Comm.Perf.checksum
+            && s.Spmd.charged_messages = r.Comm.Perf.messages
+            && s.Spmd.charged_bytes = r.Comm.Perf.msg_bytes;
+          charged_messages = s.Spmd.charged_messages;
+          charged_bytes = s.Spmd.charged_bytes;
+          wire_messages = s.Spmd.wire_messages;
+          wire_bytes = s.Spmd.wire_bytes;
+          ghost_fills = s.Spmd.ghost_fills;
+          unmodeled_exchanges = s.Spmd.unmodeled_exchanges;
+          reduction_messages = s.Spmd.reduction_messages;
+          spmd_l1_miss_pct =
+            Option.map
+              (fun l1 -> 100.0 *. Cachesim.Cache.miss_rate l1)
+              s.Spmd.l1;
+          spmd_checksum = s.Spmd.checksum;
+          report = Spmd.report_json ~machine:m s;
+        }
+  | exception Spmd.Unsupported msg ->
+      Error (Diag.errorf ~phase:"spmd" "unsupported: %s" msg)
+  | exception Spmd.Runtime_error msg -> Error (Diag.error ~phase:"spmd" msg)
+
+let of_result = function Ok r -> r | Error d -> Api.Failed d
+
+(* [search_jobs] is the domain budget of a cold planner search;
+   [in_worker] marks execution inside a pool domain, where fanning out
+   again would oversubscribe the machine — batch workers therefore run
+   nested batches sequentially and their searches single-domain. *)
+let rec exec t ~search_jobs ~in_worker req =
+  match req with
+  | Api.Compile { source; opts; target } ->
+      Atomic.incr t.req_compile;
+      of_result
+        (let* _, summary, _, provenance =
+           compiled_of t ~search_jobs ~opts ~target source
+         in
+         Ok (Api.Compiled { summary; provenance }))
+  | Api.Plan { source; opts; target } ->
+      Atomic.incr t.req_plan;
+      (* a Plan response always carries the rendered plan *)
+      let opts = { opts with Api.dump_plan = true } in
+      of_result
+        (let* _, summary, _, provenance =
+           compiled_of t ~search_jobs ~opts ~target source
+         in
+         Ok (Api.Planned { summary; provenance }))
+  | Api.Run { source; opts; target; spmd } ->
+      Atomic.incr t.req_run;
+      of_result
+        (let* _, summary, c, provenance =
+           compiled_of t ~search_jobs ~opts ~target source
+         in
+         let* m = Api.machine_of_name target.Api.machine in
+         let r, perf = perf_of ~m ~procs:target.Api.procs c in
+         let* spmd =
+           if spmd then
+             Result.map Option.some (spmd_of ~m ~procs:target.Api.procs r c)
+           else Ok None
+         in
+         Ok (Api.Ran { summary; provenance; perf; spmd }))
+  | Api.Batch reqs ->
+      Atomic.incr t.req_batch;
+      if in_worker then
+        Api.Batch_reply (List.map (exec t ~search_jobs ~in_worker:true) reqs)
+      else
+        (* Pool.map returns in task order, so the reply order is the
+           request order regardless of domain scheduling *)
+        let domains = max 1 (min t.pool_jobs (List.length reqs)) in
+        Api.Batch_reply
+          (Support.Pool.map ~domains
+             (exec t ~search_jobs:1 ~in_worker:true)
+             reqs)
+  | Api.Stats ->
+      Atomic.incr t.req_stats;
+      Api.Stats_reply (server_stats t)
+  | Api.Shutdown ->
+      Atomic.incr t.req_shutdown;
+      Api.Shutting_down
+
+let handle t req =
+  let resp = exec t ~search_jobs:t.pool_jobs ~in_worker:false req in
+  sync_obs t;
+  resp

@@ -1,0 +1,53 @@
+(** The request engine: one [handle] function behind {!Api}.
+
+    Every consumer of the compiler pipeline — [zapc] running locally,
+    [zapd] serving a socket, the load bench — goes through
+    [handle : t -> Api.request -> Api.response], so the semantics of a
+    request cannot depend on who asked.  The engine owns the plan
+    cache: compile and plan work is keyed by
+    [(Ir.Prog.fingerprint, planning mode, machine, procs)] and
+    memoized in a sharded LRU ({!Cache}), so a warm engine serves
+    [--plan search] requests without re-running the search (the
+    ["service.plan.computed"] counter stays flat — the proof the bench
+    and CI smoke assert).
+
+    Determinism: responses are a pure function of the request — cache
+    state, domain count and request interleaving never leak into a
+    reply.  Cheap per-request work (simplify, dump rendering, perf
+    measurement, SPMD execution) is recomputed on every request; only
+    the deterministic compile/plan result is cached.
+
+    Counters are process-global atomics mirrored into [Obs] (under the
+    {!Metrics} keys) by {!sync_obs}, which [handle] calls on the
+    serving domain whenever a recorder is installed. *)
+
+type t
+
+val create : ?shards:int -> ?capacity:int -> ?jobs:int -> unit -> t
+(** [shards]/[capacity] size the plan cache (defaults as
+    {!Cache.create}); [jobs] (default
+    [Support.Pool.default_domains ()]) bounds the domains used for
+    [Batch] fan-out and search-planner candidate costing. *)
+
+val jobs : t -> int
+
+val handle : t -> Api.request -> Api.response
+(** Never raises: every failure is a [Failed] response.  [Batch]
+    requests fan out over a domain pool ([jobs] wide) with replies in
+    request order; nested batches are handled sequentially within
+    their worker.  [Shutdown] only answers [Shutting_down] — process
+    exit is the server's decision. *)
+
+val cache_stats : t -> Cache.stats
+
+val server_stats : t -> Api.server_stats
+(** The payload of a [Stats] reply (also available without a request
+    round-trip, for the bench). *)
+
+val note_protocol_error : t -> unit
+(** Bumped by the server for lines that fail {!Api.request_of_line}. *)
+
+val sync_obs : t -> unit
+(** Mirror the global counters into the current domain's [Obs]
+    recorder (no-op when none is installed): each {!Metrics} key
+    advances by the delta since the last mirror. *)

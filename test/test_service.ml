@@ -1,0 +1,668 @@
+(* The zapd service layer (lib/service): program fingerprints, the
+   sharded LRU plan cache, the typed request API and its wire codecs,
+   the engine's caching/determinism guarantees, and the socket
+   server/client pair. *)
+
+module Api = Service.Api
+module Cache = Service.Cache
+module Engine = Service.Engine
+module Metrics = Service.Metrics
+open Ir
+
+let v = Support.Vec.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let golden_prog =
+  {
+    Prog.name = "golden";
+    arrays =
+      [
+        {
+          Prog.name = "A";
+          bounds = Region.of_bounds [ (0, 9); (0, 9) ];
+          kind = Prog.User;
+        };
+        {
+          Prog.name = "B";
+          bounds = Region.of_bounds [ (0, 9); (0, 9) ];
+          kind = Prog.Compiler;
+        };
+      ];
+    scalars = [ ("s", 1.5) ];
+    body =
+      [
+        Prog.Astmt
+          (Nstmt.make
+             ~region:(Region.of_bounds [ (1, 8); (1, 8) ])
+             ~lhs:"A"
+             (Expr.Binop
+                (Expr.Add, Expr.Ref ("B", v [ 0; 1 ]), Expr.Const 2.0)));
+      ];
+    live_out = [ "A" ];
+  }
+
+(* The committed content address of [golden_prog].  If this test
+   breaks, every plan-cache key and fuzz repro filename in the wild
+   changes meaning: bump deliberately or fix the regression. *)
+let fingerprint_golden () =
+  Alcotest.(check string)
+    "golden program fingerprint is stable" "41bbb7ea1b1e2cd0"
+    (Prog.fingerprint golden_prog)
+
+let fingerprint_ignores_display_name () =
+  Alcotest.(check string)
+    "renamed program shares the fingerprint"
+    (Prog.fingerprint golden_prog)
+    (Prog.fingerprint { golden_prog with Prog.name = "renamed" })
+
+let fingerprint_sensitivity () =
+  let fp = Prog.fingerprint golden_prog in
+  let changed_const =
+    {
+      golden_prog with
+      Prog.body =
+        [
+          Prog.Astmt
+            (Nstmt.make
+               ~region:(Region.of_bounds [ (1, 8); (1, 8) ])
+               ~lhs:"A"
+               (Expr.Binop
+                  (Expr.Add, Expr.Ref ("B", v [ 0; 1 ]), Expr.Const 3.0)));
+        ];
+    }
+  in
+  let changed_scalar = { golden_prog with Prog.scalars = [ ("s", 2.5) ] } in
+  let changed_live = { golden_prog with Prog.live_out = [] } in
+  Alcotest.(check bool)
+    "constant change changes the fingerprint" true
+    (fp <> Prog.fingerprint changed_const);
+  Alcotest.(check bool)
+    "scalar change changes the fingerprint" true
+    (fp <> Prog.fingerprint changed_scalar);
+  Alcotest.(check bool)
+    "live-out change changes the fingerprint" true
+    (fp <> Prog.fingerprint changed_live)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_no_collision () =
+  let all = Metrics.all in
+  Alcotest.(check int)
+    "every key is distinct"
+    (List.length all)
+    (List.length (List.sort_uniq compare all));
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (k ^ " carries the service prefix")
+        true
+        (String.length k > String.length Metrics.prefix
+        && String.sub k 0 (String.length Metrics.prefix) = Metrics.prefix))
+    all;
+  (* disjoint from every counter the rest of the pipeline pre-seeds *)
+  let r = Obs.create () in
+  let seeded = List.map fst (Obs.report r).Obs.counters in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (k ^ " does not collide with a pipeline counter")
+        false (List.mem k seeded))
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let key i =
+  { Cache.fingerprint = Printf.sprintf "%016x" i; mode = "greedy:c2+f3";
+    machine = "-"; procs = 0 }
+
+let cache_lru_eviction_order () =
+  (* one shard so the LRU order is global and observable *)
+  let c = Cache.create ~shards:1 ~capacity:4 () in
+  List.iter (fun i -> Cache.add c (key i) i) [ 1; 2; 3; 4 ];
+  (* freshen 1 and 3: the least recently used entry is now 2 *)
+  ignore (Cache.find c (key 1));
+  ignore (Cache.find c (key 3));
+  Cache.add c (key 5) 5;
+  Alcotest.(check (option int)) "LRU victim evicted" None (Cache.find c (key 2));
+  List.iter
+    (fun i ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "entry %d survives" i)
+        (Some i)
+        (Cache.find c (key i)))
+    [ 1; 3; 4; 5 ];
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "population stays at capacity" 4 s.Cache.entries
+
+let cache_capacity_bound () =
+  let c = Cache.create ~shards:4 ~capacity:16 () in
+  for i = 1 to 200 do
+    Cache.add c (key i) i
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check bool)
+    "population bounded by capacity" true
+    (s.Cache.entries <= Cache.capacity c);
+  List.iter
+    (fun n -> Alcotest.(check bool) "shard bounded" true (n <= 4))
+    (Cache.entries_per_shard c)
+
+let cache_shard_distribution () =
+  let c = Cache.create ~shards:8 ~capacity:1024 () in
+  for i = 1 to 400 do
+    Cache.add c (key i) i
+  done;
+  let per = Cache.entries_per_shard c in
+  Alcotest.(check int) "eight shards" 8 (List.length per);
+  Alcotest.(check int) "no entry lost" 400 (List.fold_left ( + ) 0 per);
+  (* Hash64 assignment spreads: no shard should be starved or hog *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard holds a fair share (%d)" n)
+        true
+        (n >= 20 && n <= 80))
+    per;
+  (* the assignment is a pure function of the key *)
+  for i = 1 to 10 do
+    Alcotest.(check int)
+      "shard_of is stable"
+      (Cache.shard_of c (key i))
+      (Cache.shard_of c (key i))
+  done
+
+let cache_first_writer_wins () =
+  let c = Cache.create ~shards:1 ~capacity:4 () in
+  Cache.add c (key 1) 10;
+  Cache.add c (key 1) 99;
+  Alcotest.(check (option int)) "first value kept" (Some 10) (Cache.find c (key 1));
+  Alcotest.(check int) "one insertion" 1 (Cache.stats c).Cache.insertions
+
+let cache_hit_miss_counts () =
+  let c = Cache.create () in
+  ignore (Cache.find c (key 1));
+  Alcotest.(check int) "miss counted" 1 (Cache.stats c).Cache.misses;
+  Alcotest.(check int)
+    "find_or_add computes once" 7
+    (Cache.find_or_add c (key 1) (fun () -> 7));
+  Alcotest.(check int)
+    "find_or_add then hits" 7
+    (Cache.find_or_add c (key 1) (fun () -> 8));
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses
+
+(* ------------------------------------------------------------------ *)
+(* Api codecs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_opts =
+  {
+    Api.level = "c2+f4";
+    plan = Api.Search;
+    config = [ ("n", 32.0); ("eps", 0.125) ];
+    merge = true;
+    simplify = true;
+    dump_ir = true;
+    dump_plan = false;
+    dump_c = true;
+    emit_c = true;
+  }
+
+let sample_requests =
+  [
+    Api.Compile
+      {
+        source = Api.Bench { name = "ep"; tile = Some 256 };
+        opts = sample_opts;
+        target = { Api.machine = "paragon"; procs = 16 };
+      };
+    Api.Run
+      {
+        source = Api.Text { name = "x.zap"; text = "program x;\n" };
+        opts = Api.default_compile_opts;
+        target = Api.default_target;
+        spmd = true;
+      };
+    Api.Plan
+      {
+        source = Api.Bench { name = "tomcatv"; tile = None };
+        opts = { Api.default_compile_opts with Api.plan = Api.Search };
+        target = { Api.machine = "sp2"; procs = 4 };
+      };
+    Api.Batch [ Api.Stats; Api.Shutdown ];
+    Api.Stats;
+    Api.Shutdown;
+  ]
+
+let sample_provenance =
+  {
+    Plan.Driver.strategy = "search";
+    machine = "Cray T3E";
+    procs = 16;
+    greedy_total_ns = 1234.5;
+    search_total_ns = 1000.25;
+    chosen_total_ns = 1000.25;
+    fallback = false;
+    blocks =
+      [
+        {
+          Plan.Driver.block = 0;
+          stats =
+            {
+              Plan.Search.expanded = 10;
+              generated = 40;
+              pruned = 7;
+              deduped = 3;
+              beam_rounds = 0;
+              greedy_ns = 1234.5;
+              best_ns = 1000.25;
+              improved = true;
+            };
+        };
+      ];
+  }
+
+let sample_summary =
+  {
+    Api.program = "ep";
+    level = "c2+f3";
+    arrays_total = 22;
+    contracted_compiler = 0;
+    contracted_user = 22;
+    remaining = 0;
+    footprint_bytes = 0;
+    contracted = [ ("t1", "scalar"); ("t2", "dims:01") ];
+    merged_away = [ "u" ];
+    fingerprint = "00112233aabbccdd";
+    dump_ir = Some "ir text\n";
+    dump_plan = None;
+    dump_c = Some "c text\n";
+    emit_c = None;
+  }
+
+let sample_perf =
+  {
+    Api.machine = "Cray T3E";
+    procs = 4;
+    time_ns = 487000.5;
+    comp_ns = 487000.25;
+    comm_ns = 0.25;
+    flops = 221184;
+    loads = 17;
+    stores = 3;
+    l1_miss_pct = 21.34;
+    l2_miss_pct = Some 1.5;
+    messages = 12;
+    msg_bytes = 4096;
+    checksum = "308149a4cb0e1adc";
+  }
+
+let sample_spmd =
+  {
+    Api.spmd_time_ns = 4440000.0;
+    supersteps = 13;
+    matches_model = true;
+    charged_messages = 4;
+    charged_bytes = 128;
+    wire_messages = 4;
+    wire_bytes = 128;
+    ghost_fills = 2;
+    unmodeled_exchanges = 0;
+    reduction_messages = 1;
+    spmd_l1_miss_pct = None;
+    spmd_checksum = "308149a4cb0e1adc";
+    report = Obs.Json.Obj [ ("supersteps", Obs.Json.Int 13) ];
+  }
+
+let sample_responses =
+  [
+    Api.Compiled { summary = sample_summary; provenance = Some sample_provenance };
+    Api.Compiled { summary = sample_summary; provenance = None };
+    Api.Ran
+      {
+        summary = sample_summary;
+        provenance = None;
+        perf = sample_perf;
+        spmd = Some sample_spmd;
+      };
+    Api.Ran
+      {
+        summary = sample_summary;
+        provenance = Some sample_provenance;
+        perf = { sample_perf with Api.l2_miss_pct = None };
+        spmd = None;
+      };
+    Api.Planned { summary = sample_summary; provenance = Some sample_provenance };
+    Api.Batch_reply [ Api.Shutting_down; Api.Failed (Obs.Diagnostic.error ~phase:"cli" "boom") ];
+    Api.Stats_reply
+      {
+        Api.requests = [ ("service.request.compile", 3) ];
+        cache =
+          {
+            Api.shards = 8;
+            cache_capacity = 256;
+            entries = 2;
+            hits = 1;
+            misses = 2;
+            evictions = 0;
+            insertions = 2;
+          };
+        compiles_computed = 2;
+        plans_computed = 1;
+      };
+    Api.Shutting_down;
+    Api.Failed (Obs.Diagnostic.error ~loc:("x.zap", 3) ~phase:"parse" "bad token");
+  ]
+
+let request_roundtrip () =
+  List.iteri
+    (fun i req ->
+      match Api.request_of_json (Api.request_to_json req) with
+      | Ok req' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d round-trips" i)
+            true (req = req')
+      | Error e -> Alcotest.failf "request %d failed to decode: %s" i e)
+    sample_requests
+
+let response_roundtrip () =
+  List.iteri
+    (fun i resp ->
+      match Api.response_of_json (Api.response_to_json resp) with
+      | Ok resp' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "response %d round-trips" i)
+            true (resp = resp')
+      | Error e -> Alcotest.failf "response %d failed to decode: %s" i e)
+    sample_responses
+
+let wire_roundtrip () =
+  (* through the actual wire encoding: JSON text line, parsed back *)
+  List.iteri
+    (fun i req ->
+      let line = Obs.Json.to_string (Api.request_to_json req) in
+      match Api.request_of_line line with
+      | Ok req' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d survives the wire" i)
+            true (req = req')
+      | Error e -> Alcotest.failf "request %d failed on the wire: %s" i e)
+    sample_requests;
+  List.iteri
+    (fun i resp ->
+      let line = Obs.Json.to_string (Api.response_to_json resp) in
+      match Result.bind (Obs.Json.of_string line) Api.response_of_json with
+      | Ok resp' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "response %d survives the wire" i)
+            true (resp = resp')
+      | Error e -> Alcotest.failf "response %d failed on the wire: %s" i e)
+    sample_responses
+
+let request_rejects_bad_input () =
+  List.iter
+    (fun line ->
+      match Api.request_of_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad request line %S" line)
+    [
+      "not json";
+      "{}";
+      {|{"op":"frobnicate"}|};
+      {|{"op":"compile"}|};
+      {|{"op":"compile","source":{"bench":"ep"},"v":999}|};
+      {|{"op":"compile","source":{"bench":"ep"},"opts":{"plan":"mystic"}}|};
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let source_ep = Api.Bench { name = "ep"; tile = Some 256 }
+
+let greedy_run =
+  Api.Run
+    {
+      source = source_ep;
+      opts = Api.default_compile_opts;
+      target = Api.default_target;
+      spmd = false;
+    }
+
+let search_compile =
+  Api.Compile
+    {
+      source = source_ep;
+      opts = { Api.default_compile_opts with Api.plan = Api.Search };
+      target = Api.default_target;
+    }
+
+let render resp = Obs.Json.to_string (Api.response_to_json resp)
+
+let engine_cache_hit_matches_cold () =
+  let e = Engine.create ~jobs:1 () in
+  let cold = Engine.handle e greedy_run in
+  let warm = Engine.handle e greedy_run in
+  Alcotest.(check string)
+    "warm response byte-identical to cold" (render cold) (render warm);
+  (match (cold, warm) with
+  | Api.Ran { perf = p1; _ }, Api.Ran { perf = p2; _ } ->
+      Alcotest.(check string)
+        "cache-hit run checksum equals cold checksum" p1.Api.checksum
+        p2.Api.checksum
+  | _ -> Alcotest.fail "expected Ran responses");
+  let s = Engine.cache_stats e in
+  Alcotest.(check int) "second request hit the cache" 1 s.Cache.hits;
+  Alcotest.(check int) "one plan entry" 1 s.Cache.insertions
+
+let engine_warm_search_skips_planning () =
+  let e = Engine.create ~jobs:1 () in
+  let cold = Engine.handle e search_compile in
+  let computed_after_cold = (Engine.server_stats e).Api.plans_computed in
+  Alcotest.(check int) "cold search planned once" 1 computed_after_cold;
+  let warm = Engine.handle e search_compile in
+  Alcotest.(check int)
+    "warm search did not re-plan" computed_after_cold
+    (Engine.server_stats e).Api.plans_computed;
+  Alcotest.(check string)
+    "warm search response byte-identical" (render cold) (render warm)
+
+let engine_batch_deterministic_across_domains () =
+  let reqs =
+    List.concat (List.init 3 (fun _ -> [ greedy_run; search_compile ]))
+  in
+  let outputs =
+    List.map
+      (fun jobs ->
+        let e = Engine.create ~jobs () in
+        match Engine.handle e (Api.Batch reqs) with
+        | Api.Batch_reply rs -> List.map render rs
+        | other -> [ render other ])
+      [ 1; 2; 8 ]
+  in
+  match outputs with
+  | o1 :: rest ->
+      Alcotest.(check int) "all requests answered" (List.length reqs)
+        (List.length o1);
+      List.iteri
+        (fun i o ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "domain count %d matches baseline" i)
+            o1 o)
+        rest
+  | [] -> ()
+
+let engine_stats_and_failures () =
+  let e = Engine.create ~jobs:1 () in
+  (match
+     Engine.handle e
+       (Api.Compile
+          {
+            source = Api.Bench { name = "nope"; tile = None };
+            opts = Api.default_compile_opts;
+            target = Api.default_target;
+          })
+   with
+  | Api.Failed d ->
+      Alcotest.(check string) "cli phase" "cli" d.Obs.Diagnostic.phase
+  | _ -> Alcotest.fail "unknown benchmark must fail");
+  (match
+     Engine.handle e
+       (Api.Compile
+          {
+            source = source_ep;
+            opts = { Api.default_compile_opts with Api.level = "c9" };
+            target = Api.default_target;
+          })
+   with
+  | Api.Failed _ -> ()
+  | _ -> Alcotest.fail "unknown level must fail");
+  match Engine.handle e Api.Stats with
+  | Api.Stats_reply s ->
+      Alcotest.(check int)
+        "both failures counted as compile requests" 2
+        (List.assoc Metrics.request_compile s.Api.requests);
+      Alcotest.(check int) "stats request counted once" 1
+        (List.assoc Metrics.request_stats s.Api.requests)
+  | _ -> Alcotest.fail "expected a stats reply"
+
+let engine_mirrors_obs () =
+  let r = Obs.create () in
+  let e = Engine.create ~jobs:1 () in
+  Obs.run r (fun () ->
+      ignore (Engine.handle e greedy_run);
+      ignore (Engine.handle e greedy_run));
+  let counters = (Obs.report r).Obs.counters in
+  let get k = Option.value ~default:0 (List.assoc_opt k counters) in
+  Alcotest.(check int) "requests mirrored" 2 (get Metrics.request_run);
+  Alcotest.(check int) "miss mirrored" 1 (get Metrics.cache_miss);
+  Alcotest.(check int) "hit mirrored" 1 (get Metrics.cache_hit);
+  Alcotest.(check int) "compile mirrored" 1 (get Metrics.compile_computed)
+
+(* ------------------------------------------------------------------ *)
+(* Server / client over a real socket                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_server f =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zapd-test-%d-%d.sock" (Unix.getpid ()) (Random.int 10000))
+  in
+  let engine = Engine.create ~jobs:1 () in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Service.Server.serve
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~socket engine)
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* always shut the daemon down, even when the test body failed *)
+      (try ignore (Service.Client.roundtrip ~socket Api.Shutdown)
+       with _ -> ());
+      (match Domain.join server with
+      | Ok () -> ()
+      | Error d -> Alcotest.failf "server: %s" (Obs.Diagnostic.to_string d));
+      Alcotest.(check bool)
+        "socket file removed on shutdown" false (Sys.file_exists socket))
+    (fun () -> f socket)
+
+let socket_smoke () =
+  with_server (fun socket ->
+      (match Service.Client.roundtrip ~socket greedy_run with
+      | Ok (Api.Ran _) -> ()
+      | Ok _ -> Alcotest.fail "expected a Ran response"
+      | Error d -> Alcotest.failf "run: %s" (Obs.Diagnostic.to_string d));
+      (* replay: the daemon's cache must serve it *)
+      (match Service.Client.roundtrip ~socket greedy_run with
+      | Ok (Api.Ran _) -> ()
+      | Ok _ -> Alcotest.fail "expected a Ran response"
+      | Error d -> Alcotest.failf "run: %s" (Obs.Diagnostic.to_string d));
+      match Service.Client.roundtrip ~socket Api.Stats with
+      | Ok (Api.Stats_reply s) ->
+          Alcotest.(check int) "replay hit the daemon cache" 1 s.Api.cache.Api.hits
+      | Ok _ -> Alcotest.fail "expected a stats reply"
+      | Error d -> Alcotest.failf "stats: %s" (Obs.Diagnostic.to_string d))
+
+let socket_protocol_error () =
+  with_server (fun socket ->
+      (* raw connection so we can send a malformed line *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "this is not json\n";
+      flush oc;
+      let line = input_line ic in
+      Unix.close fd;
+      (match Result.bind (Obs.Json.of_string line) Api.response_of_json with
+      | Ok (Api.Failed d) ->
+          Alcotest.(check string)
+            "protocol phase" "protocol" d.Obs.Diagnostic.phase
+      | Ok _ -> Alcotest.fail "expected a Failed response"
+      | Error e -> Alcotest.failf "unparseable error reply: %s" e);
+      (* the connection error did not kill the daemon *)
+      match Service.Client.roundtrip ~socket Api.Stats with
+      | Ok (Api.Stats_reply _) -> ()
+      | Ok _ -> Alcotest.fail "expected a stats reply"
+      | Error d -> Alcotest.failf "stats: %s" (Obs.Diagnostic.to_string d))
+
+let suites =
+  [
+    ( "service-fingerprint",
+      [
+        Alcotest.test_case "golden stability" `Quick fingerprint_golden;
+        Alcotest.test_case "display name excluded" `Quick
+          fingerprint_ignores_display_name;
+        Alcotest.test_case "content sensitivity" `Quick fingerprint_sensitivity;
+      ] );
+    ( "service-metrics",
+      [ Alcotest.test_case "keys collision-free" `Quick metrics_no_collision ]
+    );
+    ( "service-cache",
+      [
+        Alcotest.test_case "LRU eviction order" `Quick cache_lru_eviction_order;
+        Alcotest.test_case "capacity bound" `Quick cache_capacity_bound;
+        Alcotest.test_case "shard distribution" `Quick cache_shard_distribution;
+        Alcotest.test_case "first writer wins" `Quick cache_first_writer_wins;
+        Alcotest.test_case "hit/miss accounting" `Quick cache_hit_miss_counts;
+      ] );
+    ( "service-api",
+      [
+        Alcotest.test_case "request round-trip" `Quick request_roundtrip;
+        Alcotest.test_case "response round-trip" `Quick response_roundtrip;
+        Alcotest.test_case "wire round-trip" `Quick wire_roundtrip;
+        Alcotest.test_case "bad input rejected" `Quick request_rejects_bad_input;
+      ] );
+    ( "service-engine",
+      [
+        Alcotest.test_case "cache hit matches cold compile" `Quick
+          engine_cache_hit_matches_cold;
+        Alcotest.test_case "warm search skips planning" `Slow
+          engine_warm_search_skips_planning;
+        Alcotest.test_case "batch deterministic at 1/2/8 domains" `Slow
+          engine_batch_deterministic_across_domains;
+        Alcotest.test_case "failures and stats" `Quick engine_stats_and_failures;
+        Alcotest.test_case "obs counters mirrored" `Quick engine_mirrors_obs;
+      ] );
+    ( "service-socket",
+      [
+        Alcotest.test_case "compile/stats/shutdown smoke" `Slow socket_smoke;
+        Alcotest.test_case "protocol error keeps daemon alive" `Quick
+          socket_protocol_error;
+      ] );
+  ]
