@@ -37,7 +37,7 @@ let optimizer_speed () =
       Test.make ~name:"full compile tomcatv @ c2+f3"
         (Staged.stage (fun () ->
              ignore
-               (Compilers.Driver.compile ~level:Compilers.Driver.C2F3 tomcatv)));
+               (Compilers.Driver.compile_opts (Compilers.Driver.opts Compilers.Driver.C2F3) tomcatv)));
     ]
   in
   let cfg =
@@ -74,6 +74,7 @@ let sections =
     ("plan", Plan_gap.section);
     ("fuzz", Fuzz_smoke.section);
     ("zapd", Zapd_load.section);
+    ("lazy", Lazy_stream.section);
     ("speed", optimizer_speed);
   ]
 

@@ -269,7 +269,7 @@ let daemon_request ~connect req =
    written to --fuzz-out sequentially in case order — so the output is
    byte-identical at every --jobs value.  Any failure makes the run
    exit nonzero. *)
-let run_fuzz ~n ~seed ~jobs ~out ~machine =
+let run_fuzz ~n ~seed ~jobs ~out ~machine ~trace_mode =
   let* machine = Api.machine_of_name machine in
   let cfg = { Fuzz.Oracle.default with Fuzz.Oracle.machine } in
   let* () =
@@ -281,7 +281,10 @@ let run_fuzz ~n ~seed ~jobs ~out ~machine =
       | () -> Ok ()
       | exception Sys_error m -> Error (Diag.error ~phase:"fuzz" m)
   in
-  let cases = Fuzz.Campaign.run ~cfg ~jobs ~n ~seed:(Int64.of_int seed) () in
+  let cases =
+    Fuzz.Campaign.run ~cfg ~trace:trace_mode ~jobs ~n ~seed:(Int64.of_int seed)
+      ()
+  in
   let skipped = Fuzz.Campaign.skipped_runs cases in
   let divergent = Fuzz.Campaign.divergent cases in
   let failures = List.length divergent in
@@ -307,8 +310,9 @@ let run_fuzz ~n ~seed ~jobs ~out ~machine =
              (Ir.Prog.fingerprint small))
       in
       let comment =
-        Printf.sprintf "zapc --fuzz: seed %d case %d\ndiverging: %s" seed
-          c.Fuzz.Campaign.index backends
+        Printf.sprintf "zapc --fuzz%s: seed %d case %d\ndiverging: %s"
+          (if trace_mode then " --trace-mode" else "")
+          seed c.Fuzz.Campaign.index backends
       in
       Fuzz.Repro.save ~path ~comment small;
       Printf.printf "shrunk repro written to %s (diverging: %s)\n%s\n" path
@@ -327,6 +331,62 @@ let run_fuzz ~n ~seed ~jobs ~out ~machine =
          failures n out)
 
 (* ------------------------------------------------------------------ *)
+(* Runtime-fusion demo (--lazy-demo)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A streaming loop through the lazy frontend: each iteration records
+   a fresh 3-point-stencil-plus-reduction trace whose constants depend
+   on the iteration number, then forces the scalar.  Every iteration
+   has the same trace *shape*, so iteration 1 compiles (and plans) and
+   every later iteration reuses the cached plan — the per-iteration
+   cache columns printed below are the point of the demo. *)
+let run_lazy_demo ~level ~iters =
+  let* level = Api.level_of_name level in
+  let module T = Lazyarr.Trace in
+  let ctx = T.create ~name:"demo" ~level () in
+  let r = Ir.Region.of_bounds [ (0, 1023) ] in
+  Printf.printf
+    "lazy demo: %d iterations of a 1-D stencil + reduction trace (level %s)\n\
+     %-6s %-14s %-18s %s\n"
+    iters
+    (Compilers.Driver.level_name level)
+    "iter" "sum" "checksum" "cache (hits/misses)";
+  for t = 1 to iters do
+    let ft = float_of_int t in
+    let src =
+      T.gen ctx r
+        Ir.Expr.(Binop (Add, Binop (Mul, Const ft, Idx 1), Const 1.0))
+    in
+    let left = T.shift [| -1 |] src in
+    let right = T.shift [| 1 |] src in
+    let s = T.zip_with (fun a b -> Ir.Expr.Binop (Ir.Expr.Add, a, b)) left right in
+    let sm =
+      T.map
+        (fun x -> Ir.Expr.Binop (Ir.Expr.Mul, Ir.Expr.Const (0.5 /. ft), x))
+        s
+    in
+    let sum = T.reduce Ir.Prog.Rsum sm in
+    let v = T.force_scalar sum in
+    let st = T.stats ctx in
+    Printf.printf "%-6d %-14.8g %-18s %d/%d\n" t v (T.scalar_checksum sum)
+      st.T.cache_hits st.T.cache_misses
+  done;
+  let st = T.stats ctx in
+  Printf.printf
+    "flushes=%d ops recorded=%d lowered=%d elided=%d params lifted=%d\n\
+     plan cache: %d hits, %d misses; %d compiles computed, %d plans computed\n\
+     trace-shape fingerprint: %s\n"
+    st.T.flushes st.T.ops_recorded st.T.ops_lowered st.T.ops_elided
+    st.T.params_lifted st.T.cache_hits st.T.cache_misses st.T.compiles_computed
+    st.T.plans_computed
+    (Option.value ~default:"-" st.T.last_fingerprint);
+  if st.T.cache_misses > 1 then
+    Error
+      (Diag.errorf ~phase:"lazy"
+         "expected one cold compile, saw %d cache misses" st.T.cache_misses)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -342,14 +402,15 @@ let list_levels () =
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
     dump_c emit_c run machine procs spmd trace stats plan list_levels_f fuzz
-    seed fuzz_out jobs connect server_stats shutdown =
+    seed fuzz_out trace_mode lazy_demo jobs connect server_stats shutdown =
   let result =
     if list_levels_f then Ok (list_levels ())
     else if shutdown then daemon_request ~connect Api.Shutdown
     else if server_stats then daemon_request ~connect Api.Stats
+    else if lazy_demo then run_lazy_demo ~level ~iters:8
     else
     match fuzz with
-    | Some n -> run_fuzz ~n ~seed ~jobs ~out:fuzz_out ~machine
+    | Some n -> run_fuzz ~n ~seed ~jobs ~out:fuzz_out ~machine ~trace_mode
     | None ->
     let* stats = parse_stats stats in
     let recorder =
@@ -559,6 +620,29 @@ let fuzz_out_arg =
     & info [ "fuzz-out" ] ~docv:"DIR"
         ~doc:"Directory for shrunk $(b,--fuzz) repros (created if missing).")
 
+let trace_mode_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-mode" ]
+        ~doc:
+          "With $(b,--fuzz): draw each case from a random lazy-combinator \
+           trace (gen/map/zip/shift/reduce through the runtime-fusion \
+           frontend) lowered to a program, instead of from the whole-program \
+           generator.  Same oracle, same shrinker, same determinism \
+           contract.")
+
+let lazy_demo_arg =
+  Arg.(
+    value & flag
+    & info [ "lazy-demo" ]
+        ~doc:
+          "Run the runtime-fusion demo: a streaming loop that records the \
+           same stencil-plus-reduction trace shape with fresh constants \
+           each iteration and forces it through the lazy frontend — \
+           iteration 1 compiles, every later iteration reuses the cached \
+           plan.  Honors $(b,--level); exits nonzero if any warm iteration \
+           misses the plan cache.")
+
 let jobs_arg =
   Arg.(
     value
@@ -607,7 +691,7 @@ let cmd =
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
        $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
-       $ fuzz_arg $ seed_arg $ fuzz_out_arg $ jobs_arg $ connect_arg
-       $ server_stats_arg $ shutdown_arg))
+       $ fuzz_arg $ seed_arg $ fuzz_out_arg $ trace_mode_arg $ lazy_demo_arg
+       $ jobs_arg $ connect_arg $ server_stats_arg $ shutdown_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -91,7 +91,7 @@ let () =
   List.iter
     (fun (m : Machine.t) ->
       let time level =
-        let c = Compilers.Driver.compile_exn ~level prog in
+        let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
         let r =
           Comm.Perf.measure
             { Comm.Perf.machine = m; procs = 1; comm = Comm.Model.all_on }

@@ -38,7 +38,7 @@ let () =
   Format.printf "=== optimization levels ===@.";
   List.iter
     (fun level ->
-      let c = Compilers.Driver.compile_exn ~level prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
       let r = Exec.Interp.run c.Compilers.Driver.code in
       let cnt = Exec.Interp.counters r in
       assert (Exec.Interp.checksum r = want);
@@ -51,7 +51,7 @@ let () =
     Compilers.Driver.all_levels;
 
   (* what exactly was contracted at c2? *)
-  let c2 = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c2 = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   Format.printf "@.c2 contracted: %s@."
     (String.concat ", " (List.map fst c2.Compilers.Driver.contracted));
 

@@ -7,7 +7,7 @@
 
 let () =
   let prog = Suite.load ~tile:32 "tomcatv" in
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
 
   Format.printf "tomcatv: %d static arrays"
     (List.length prog.Ir.Prog.arrays);
@@ -55,7 +55,7 @@ let () =
   List.iter
     (fun (m : Machine.t) ->
       let time level =
-        let c = Compilers.Driver.compile_exn ~level prog in
+        let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
         (Comm.Perf.measure
            { Comm.Perf.machine = m; procs = 16; comm = Comm.Model.all_on }
            c)

@@ -17,7 +17,7 @@
 val favor_comm_veto :
   procs:int -> Ir.Prog.t -> block:int -> int list -> bool
 (** The [may_fuse] predicate implementing favor-communication, suitable
-    for [Compilers.Driver.compile ~may_fuse].  With [procs = 1] nothing
+    for [Compilers.Driver.opts ~may_fuse] (the [compile_opts] family).  With [procs = 1] nothing
     is remote and the predicate always allows fusion. *)
 
 val remote_readers : procs:int -> Ir.Nstmt.t list -> int list

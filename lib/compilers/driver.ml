@@ -359,17 +359,6 @@ let compile_exn_opts o prog =
   | Ok c -> c
   | Error d -> raise (Obs.Error d)
 
-(* Deprecated arities: wrappers over the _opts entry points. *)
-
-let compile ?may_fuse ?reduction_fusion ~level prog =
-  compile_opts (opts ?may_fuse ?reduction_fusion level) prog
-
-let compile_custom ?reduction_fusion ?(level = C2F3) ~partition prog =
-  compile_custom_opts (opts ?reduction_fusion level) ~partition prog
-
-let compile_exn ?may_fuse ?reduction_fusion ~level prog =
-  compile_exn_opts (opts ?may_fuse ?reduction_fusion level) prog
-
 let contracted_counts (c : compiled) =
   List.fold_left
     (fun (nc, nu) (x, _) ->

@@ -104,41 +104,6 @@ val compile_exn_opts : opts -> Ir.Prog.t -> compiled
 (** Raising wrapper over {!compile_opts} for callers that have already
     validated their input.  Raises [Obs.Error] with the diagnostic. *)
 
-(** {2 Deprecated arities}
-
-    The original optional/positional spellings, kept as thin wrappers
-    over the [_opts] entry points so existing call sites keep
-    compiling.  New code should pass an {!opts} record. *)
-
-val compile :
-  ?may_fuse:(block:int -> int list -> bool) ->
-  ?reduction_fusion:bool ->
-  level:level ->
-  Ir.Prog.t ->
-  (compiled, Obs.Diagnostic.t) result
-(** @deprecated Use {!compile_opts}. *)
-
-val compile_custom :
-  ?reduction_fusion:bool ->
-  ?level:level ->
-  partition:
-    (block:int ->
-    compiler:string list ->
-    user:string list ->
-    Core.Asdg.t ->
-    Core.Partition.t) ->
-  Ir.Prog.t ->
-  (compiled, Obs.Diagnostic.t) result
-(** @deprecated Use {!compile_custom_opts}. *)
-
-val compile_exn :
-  ?may_fuse:(block:int -> int list -> bool) ->
-  ?reduction_fusion:bool ->
-  level:level ->
-  Ir.Prog.t ->
-  compiled
-(** @deprecated Use {!compile_exn_opts}. *)
-
 val contracted_counts : compiled -> int * int
 (** [(compiler, user)] arrays eliminated (Figure 7's categories). *)
 

@@ -5,7 +5,7 @@
    *before* any task runs, so case [i] sees the same stream whether
    the campaign runs on 1 domain or 8; the pool returns reports in
    case order.  A campaign is therefore a pure function of
-   (cfg, gen, n, seed) — byte-identical output at any [jobs].
+   (cfg, gen, trace, n, seed) — byte-identical output at any [jobs].
 
    If the calling domain has an [Obs] recorder installed, each case
    runs under its own child recorder (recorders are domain-local and
@@ -19,7 +19,8 @@ type case = {
   report : Oracle.report;
 }
 
-let run ?(cfg = Oracle.default) ?(gen = Gen.default) ?(jobs = 1) ~n ~seed () =
+let run ?(cfg = Oracle.default) ?(gen = Gen.default) ?(trace = false)
+    ?(jobs = 1) ~n ~seed () =
   let rng = Support.Prng.create seed in
   let tasks = List.init n (fun i -> (i + 1, Support.Prng.split rng)) in
   let parent = Obs.active () in
@@ -27,7 +28,10 @@ let run ?(cfg = Oracle.default) ?(gen = Gen.default) ?(jobs = 1) ~n ~seed () =
     Support.Pool.map ~domains:jobs
       (fun (index, rng) ->
         let exec () =
-          let program = Gen.generate ~cfg:gen rng in
+          let program =
+            if trace then Gen.generate_trace rng
+            else Gen.generate ~cfg:gen rng
+          in
           let report = Oracle.run ~cfg program in
           { index; program; report }
         in

@@ -8,7 +8,7 @@
     {!Support.Pool.map}.
 
     Determinism contract: the returned cases — programs, reports,
-    order — are a pure function of [(cfg, gen, n, seed)].  [jobs]
+    order — are a pure function of [(cfg, gen, trace, n, seed)].  [jobs]
     changes wall-clock time only; reports are byte-identical at any
     domain count.  When the caller has an {!Obs} recorder installed,
     per-case child recorders are merged back in case order, so
@@ -23,13 +23,18 @@ type case = {
 val run :
   ?cfg:Oracle.cfg ->
   ?gen:Gen.cfg ->
+  ?trace:bool ->
   ?jobs:int ->
   n:int ->
   seed:int64 ->
   unit ->
   case list
 (** Run the campaign; cases are returned in case order (index 1..n).
-    [jobs] defaults to 1 (sequential in the calling domain). *)
+    [jobs] defaults to 1 (sequential in the calling domain).
+    [trace] (default [false]) draws each case from
+    {!Gen.generate_trace} — a random lazy-combinator trace's direct
+    lowering — instead of {!Gen.generate}; [gen] is ignored in that
+    mode. *)
 
 val divergent : case list -> case list
 (** The cases whose oracle report has a divergence or crash. *)

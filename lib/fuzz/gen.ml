@@ -233,3 +233,138 @@ let generate ?(cfg = default) rng =
       match Prog.validate p with Ok () -> p | Error _ -> go (attempts - 1)
   in
   go 50
+
+(* ------------------------------------------------------------------ *)
+(* Trace mode: random combinator traces through the lazy frontend      *)
+(* ------------------------------------------------------------------ *)
+
+(* Instead of drawing an Ir.Prog directly, draw a random sequence of
+   Lazyarr.Trace combinator applications — the op-at-a-time regime the
+   runtime-fusion frontend exists for — and hand the oracle the
+   trace's direct lowering.  Divergence between any backend on that
+   program and the lazy force of the same trace would indicate a
+   lowering bug; divergence between backends indicates the usual
+   oracle findings.  Deterministic from the Prng stream, like
+   [generate]. *)
+
+type trace_cfg = {
+  max_ops : int;  (** combinator budget beyond the initial source *)
+  trace_rank : int;  (** ranks drawn from 1..trace_rank (≤ 3) *)
+  trace_nan_ops : bool;  (** include Div/Pow/Log/Sqrt in the op pools *)
+  trace_reductions : bool;  (** allow a reduction sink *)
+}
+
+let default_trace =
+  { max_ops = 8; trace_rank = 3; trace_nan_ops = true; trace_reductions = true }
+
+type sink = Arr of Lazyarr.Trace.arr | Scalar of Lazyarr.Trace.scalar
+
+type traced = {
+  ctx : Lazyarr.Trace.ctx;
+  sink : sink;
+  trace_prog : Ir.Prog.t;  (** direct lowering of [sink]: the eager twin *)
+}
+
+(* Expression over no arrays: Idx and Const leaves only — the language
+   of [gen] sources. *)
+let rec gen_pure_expr cfg rng ~rank depth =
+  if depth <= 0 || chance rng 40 then
+    if chance rng 50 then Expr.Idx (1 + Support.Prng.next_int rng rank)
+    else Expr.Const (gen_const rng)
+  else if chance rng 30 then
+    let u =
+      if cfg.trace_nan_ops && chance rng 30 then pick rng unops_nan
+      else pick rng unops_safe
+    in
+    Expr.Unop (u, gen_pure_expr cfg rng ~rank (depth - 1))
+  else
+    let b =
+      if cfg.trace_nan_ops && chance rng 30 then pick rng binops_nan
+      else pick rng binops_safe
+    in
+    Expr.Binop
+      ( b,
+        gen_pure_expr cfg rng ~rank (depth - 1),
+        gen_pure_expr cfg rng ~rank (depth - 1) )
+
+let trace_binop cfg rng =
+  if cfg.trace_nan_ops && chance rng 30 then pick rng binops_nan
+  else pick rng binops_safe
+
+let trace_unop cfg rng =
+  if cfg.trace_nan_ops && chance rng 30 then pick rng unops_nan
+  else pick rng unops_safe
+
+(* Combinator callbacks: always consume the placeholder(s), padded
+   with pure subexpressions. *)
+let gen_map_fn cfg rng ~rank =
+  let k = Support.Prng.next_int rng 100 in
+  if k < 30 then fun x -> Expr.Unop (trace_unop cfg rng, x)
+  else if k < 80 then
+    let op = trace_binop cfg rng in
+    let e = gen_pure_expr cfg rng ~rank 2 in
+    let flip = chance rng 50 in
+    fun x -> if flip then Expr.Binop (op, x, e) else Expr.Binop (op, e, x)
+  else
+    let cmp = pick rng cmps in
+    let e = gen_pure_expr cfg rng ~rank 1 in
+    let e' = gen_pure_expr cfg rng ~rank 1 in
+    fun x -> Expr.Select (Expr.Binop (cmp, x, e), x, e')
+
+let gen_zip_fn cfg rng =
+  let k = Support.Prng.next_int rng 100 in
+  if k < 70 then
+    let op = trace_binop cfg rng in
+    fun x y -> Expr.Binop (op, x, y)
+  else
+    let cmp = pick rng cmps in
+    fun x y -> Expr.Select (Expr.Binop (cmp, x, y), x, y)
+
+let gen_shift_vec rng rank =
+  let d = Array.init rank (fun _ -> Support.Prng.next_int rng 3 - 1) in
+  if Array.for_all (fun x -> x = 0) d then d.(Support.Prng.next_int rng rank) <- 1;
+  d
+
+let generate_traced ?(cfg = default_trace) ?(level = Compilers.Driver.C2F3) rng
+    =
+  let module T = Lazyarr.Trace in
+  let ctx = T.create ~name:"trace" ~level () in
+  let rank = 1 + Support.Prng.next_int rng (min 3 (max 1 cfg.trace_rank)) in
+  let n = edge rank in
+  let base = Region.of_bounds (List.init rank (fun _ -> (0, n + 1))) in
+  let source () = T.gen ctx base (gen_pure_expr cfg rng ~rank 2) in
+  let pool = ref [ source () ] in
+  let pick_arr () =
+    List.nth !pool (Support.Prng.next_int rng (List.length !pool))
+  in
+  let n_ops = 1 + Support.Prng.next_int rng (max 1 cfg.max_ops) in
+  for _ = 1 to n_ops do
+    let k = Support.Prng.next_int rng 100 in
+    let a =
+      if k < 15 then source ()
+      else if k < 50 then T.map (gen_map_fn cfg rng ~rank) (pick_arr ())
+      else if k < 70 then T.shift (gen_shift_vec rng rank) (pick_arr ())
+      else
+        (* zip_with needs operands whose regions intersect *)
+        let x = pick_arr () in
+        let candidates =
+          List.filter
+            (fun y ->
+              Region.inter (T.region_of x) (T.region_of y) <> None)
+            !pool
+        in
+        match candidates with
+        | [] -> T.map (gen_map_fn cfg rng ~rank) x
+        | cs ->
+            let y = List.nth cs (Support.Prng.next_int rng (List.length cs)) in
+            T.zip_with (gen_zip_fn cfg rng) x y
+    in
+    pool := a :: !pool
+  done;
+  let last = List.hd !pool in
+  if cfg.trace_reductions && chance rng 30 then
+    let s = T.reduce (pick rng redops) last in
+    { ctx; sink = Scalar s; trace_prog = T.lower_direct_scalar ctx s }
+  else { ctx; sink = Arr last; trace_prog = T.lower_direct ctx last }
+
+let generate_trace ?cfg rng = (generate_traced ?cfg rng).trace_prog

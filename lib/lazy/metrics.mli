@@ -1,0 +1,45 @@
+(** Centralized Obs counter keys of the lazy frontend.
+
+    Same discipline as {!Service.Metrics}: every ["lazy.*"] counter the
+    trace layer bumps is declared here — emission sites reference these
+    values, never string literals — and {!all} enumerates the complete
+    set so a unit test can assert it is collision-free, both internally
+    and against the service-layer keys. *)
+
+val prefix : string
+(** ["lazy."] — every key below starts with it (asserted in tests),
+    which keeps the family disjoint from the ["service.*"] /
+    ["fusion.*"] / ["plan.*"] counters by construction. *)
+
+val flush : string
+(** Flushes performed (each lowers one trace cone to an [Ir.Prog] and
+    executes it). *)
+
+val op_recorded : string
+(** Combinator applications recorded into a trace. *)
+
+val op_lowered : string
+(** Trace ops lowered into statements across all flushes (one op can
+    be lowered more than once: a cone is recomputed when a previously
+    contracted intermediate is observed later). *)
+
+val op_elided : string
+(** Ops a flush passed over — pending, outside the observed cone, and
+    never lowered before — i.e. the dead-op elision the lowering
+    performs.  Each op counts at most once across a context's
+    lifetime. *)
+
+val param_lifted : string
+(** Constants lifted to parameter scalars during canonical lowering —
+    the rewrite that makes repeated trace {e shapes} share one plan
+    cache entry. *)
+
+val force : string
+(** Observations ([force] / [force_scalar] / [checksum]). *)
+
+val force_memo : string
+(** Observations answered from already-materialized values (no
+    flush). *)
+
+val all : string list
+(** Every key above, each exactly once. *)

@@ -3,7 +3,7 @@
     paper's greedy ladder.
 
     Compilation runs twice — the greedy [c2+f3] level, and
-    [Compilers.Driver.compile_custom] with {!Search.block} choosing
+    [Compilers.Driver.compile_custom_opts] with {!Search.block} choosing
     each block's partition — and both final plans (after reduction
     absorption and the contraction decision, which the per-block
     search cannot see) are priced with {!Cost.plan_cost}.  If the

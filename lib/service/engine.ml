@@ -243,6 +243,18 @@ let cached_compile t ~search_jobs ~level ~opts ~target prog =
   in
   Ok (fingerprint, c, prov)
 
+(* Direct (in-process) entry for callers that already hold an
+   elaborated program — the lazy frontend flushes through here.  Same
+   cache, same key discipline, same counters as a Compile request;
+   skips only the source elaboration and response rendering. *)
+let compile_ir t ~(opts : Api.compile_opts) ~target prog =
+  let r =
+    let* level = Api.level_of_name opts.Api.level in
+    cached_compile t ~search_jobs:t.pool_jobs ~level ~opts ~target prog
+  in
+  sync_obs t;
+  r
+
 (* ------------------------------------------------------------------ *)
 (* Rendering helpers (server side, so remote replies carry the exact
    bytes zapc prints)                                                  *)

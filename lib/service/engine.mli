@@ -38,6 +38,23 @@ val handle : t -> Api.request -> Api.response
     their worker.  [Shutdown] only answers [Shutting_down] — process
     exit is the server's decision. *)
 
+val compile_ir :
+  t ->
+  opts:Api.compile_opts ->
+  target:Api.target ->
+  Ir.Prog.t ->
+  ( string * Compilers.Driver.compiled * Plan.Driver.provenance option,
+    Obs.Diagnostic.t )
+  result
+(** In-process compile of an already-elaborated program through the
+    same plan cache as a [Compile] request — the entry the lazy
+    frontend ([Lazyarr.Trace]) flushes through.  Returns the
+    program's fingerprint (the cache key component), the compiled
+    result, and search provenance when [opts.plan] is [Search].
+    [opts.merge] and [opts.simplify] are ignored (the caller owns any
+    program-level rewrites); counters advance exactly as for a served
+    request, and [sync_obs] runs before returning. *)
+
 val cache_stats : t -> Cache.stats
 
 val server_stats : t -> Api.server_stats

@@ -24,7 +24,7 @@ let astmt lhs rhs = Prog.Astmt (Nstmt.make ~region:interior ~lhs rhs)
 
 let analyze ?(opts = Comm.Model.vectorize_only) ?(procs = 4)
     ?(level = Compilers.Driver.Baseline) prog =
-  let c = Compilers.Driver.compile_exn ~level prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
   Comm.Model.analyze ~machine:Machine.t3e ~procs ~opts c
 
 let test_redundancy_elimination () =
@@ -163,7 +163,7 @@ let test_corner_ghost_bytes () =
 
 let test_cluster_cost_positive () =
   let prog = prog_of [ astmt "Z" Expr.(Binop (Add, Idx 1, Idx 2)) ] in
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.Baseline prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.Baseline) prog in
   match c.Compilers.Driver.plan with
   | [ bp ] ->
       let p = bp.Sir.Scalarize.partition in

@@ -23,7 +23,7 @@ let assert_equivalent ?(ctx = "") prog =
   let ref_sum = Exec.Refinterp.checksum reference in
   List.iter
     (fun level ->
-      let c = Compilers.Driver.compile_exn ~level prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
       let r = Exec.Interp.run c.Compilers.Driver.code in
       let name = Compilers.Driver.level_name level in
       Alcotest.(check string)
@@ -111,19 +111,19 @@ let test_stencil_contraction () =
      sign against the A write, so FIND-LOOP-STRUCTURE has no solution.
      The greedy weight order therefore contracts exactly one of the
      two (T1, the first considered). *)
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 (stencil_prog ()) in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) (stencil_prog ()) in
   Alcotest.(check (pair int int))
     "contracted compiler/user" (1, 0)
     (Compilers.Driver.contracted_counts c);
   Alcotest.(check int) "arrays left" 3 (Compilers.Driver.remaining_arrays c);
-  let cb = Compilers.Driver.compile_exn ~level:Compilers.Driver.Baseline (stencil_prog ()) in
+  let cb = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.Baseline) (stencil_prog ()) in
   Alcotest.(check int) "baseline arrays" 4 (Compilers.Driver.remaining_arrays cb)
 
 let test_contraction_reduces_footprint () =
   let prog = stencil_prog () in
   let bytes level =
     Exec.Interp.footprint_bytes
-      (Compilers.Driver.compile_exn ~level prog).Compilers.Driver.code
+      (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog).Compilers.Driver.code
   in
   Alcotest.(check bool)
     "c2 footprint < baseline" true
@@ -132,7 +132,7 @@ let test_contraction_reduces_footprint () =
 let test_contraction_reduces_traffic () =
   let prog = stencil_prog () in
   let traffic level =
-    let c = Compilers.Driver.compile_exn ~level prog in
+    let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
     let r = Exec.Interp.run c.Compilers.Driver.code in
     let cnt = Exec.Interp.counters r in
     cnt.Exec.Interp.loads + cnt.Exec.Interp.stores
@@ -175,7 +175,7 @@ let reduction_prog () =
 let test_reduction_fusion () =
   let prog = reduction_prog () in
   assert_equivalent ~ctx:"redfuse" prog;
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   let names =
     List.map (fun (a : Sir.Code.alloc) -> a.Sir.Code.name)
       c.Compilers.Driver.code.Sir.Code.allocs
@@ -211,7 +211,7 @@ let test_reduction_fusion_blocked_by_target_read () =
     }
   in
   assert_equivalent ~ctx:"redread" prog;
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   match c.Compilers.Driver.plan with
   | [ bp ] ->
       Alcotest.(check (list int))
@@ -303,7 +303,7 @@ let prop_all_levels_equivalent =
           let ref_sum = Exec.Refinterp.checksum reference in
           List.for_all
             (fun level ->
-              let c = Compilers.Driver.compile_exn ~level prog in
+              let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
               let r = Exec.Interp.run c.Compilers.Driver.code in
               Exec.Interp.checksum r = ref_sum)
             levels)
@@ -316,7 +316,7 @@ let prop_contracted_never_allocated =
       match Prog.validate prog with
       | Error _ -> QCheck.assume_fail ()
       | Ok () ->
-          let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+          let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
           let allocated =
             List.map
               (fun (a : Sir.Code.alloc) -> a.Sir.Code.name)
@@ -336,7 +336,7 @@ let prop_levels_monotone_footprint =
       | Ok () ->
           let bytes level =
             Exec.Interp.footprint_bytes
-              (Compilers.Driver.compile_exn ~level prog).Compilers.Driver.code
+              (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog).Compilers.Driver.code
           in
           let b = bytes Compilers.Driver.Baseline in
           let c1 = bytes Compilers.Driver.C1 in

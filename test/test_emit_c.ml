@@ -40,7 +40,7 @@ let check_program name prog =
   if cc_available then
     List.iter
       (fun level ->
-        let c = Compilers.Driver.compile_exn ~level prog in
+        let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
         let interp = Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code) in
         let native = run_c c.Compilers.Driver.code in
         Alcotest.(check string)
@@ -82,7 +82,7 @@ let test_benchmarks_native () =
 let test_simplified_native () =
   if cc_available then begin
     let prog = Suite.load ~tile:8 "simple" in
-    let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+    let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
     let code = Sir.Simplify.program c.Compilers.Driver.code in
     let interp = Exec.Interp.checksum (Exec.Interp.run code) in
     Alcotest.(check string) "simplified code survives cc" interp (run_c code)

@@ -198,7 +198,7 @@ let prop_levels_match_reference =
       let want = Exec.Refinterp.checksum (Exec.Refinterp.run p) in
       List.for_all
         (fun level ->
-          let c = Compilers.Driver.compile_exn ~level p in
+          let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) p in
           let got = Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code) in
           if String.equal want got then true
           else

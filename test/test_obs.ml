@@ -195,7 +195,7 @@ let invalid_prog () =
   }
 
 let test_compile_ok () =
-  match Compilers.Driver.compile ~level:Compilers.Driver.C2 (valid_prog ()) with
+  match Compilers.Driver.compile_opts (Compilers.Driver.opts Compilers.Driver.C2) (valid_prog ()) with
   | Ok c ->
       Alcotest.(check bool)
         "T contracted" true
@@ -204,7 +204,7 @@ let test_compile_ok () =
 
 let test_compile_error_is_diagnostic () =
   match
-    Compilers.Driver.compile ~level:Compilers.Driver.C2 (invalid_prog ())
+    Compilers.Driver.compile_opts (Compilers.Driver.opts Compilers.Driver.C2) (invalid_prog ())
   with
   | Ok _ -> Alcotest.fail "invalid program compiled"
   | Error d ->
@@ -215,7 +215,7 @@ let test_compile_error_is_diagnostic () =
 
 let test_compile_exn_raises () =
   match
-    Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 (invalid_prog ())
+    Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) (invalid_prog ())
   with
   | _ -> Alcotest.fail "invalid program compiled"
   | exception Obs.Error d ->
@@ -226,7 +226,7 @@ let test_compile_exn_raises () =
 let test_compile_is_instrumented () =
   let t = Obs.create () in
   Obs.run t (fun () ->
-      ignore (Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 (valid_prog ())));
+      ignore (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) (valid_prog ())));
   let r = Obs.report t in
   (match r.Obs.spans with
   | [ c ] ->

@@ -132,7 +132,7 @@ let comm_prog () =
   }
 
 let analyze ?(procs = 4) ?(opts = Comm.Model.all_on) level =
-  let c = Compilers.Driver.compile_exn ~level (comm_prog ()) in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) (comm_prog ()) in
   Comm.Model.analyze ~machine:Machine.t3e ~procs ~opts c
 
 let test_comm_p1_silent () =
@@ -173,11 +173,11 @@ let test_perf_measure () =
   let cfgp = { Comm.Perf.machine = Machine.t3e; procs = 4; comm = Comm.Model.all_on } in
   let base =
     Comm.Perf.measure cfgp
-      (Compilers.Driver.compile_exn ~level:Compilers.Driver.Baseline prog)
+      (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.Baseline) prog)
   in
   let c2 =
     Comm.Perf.measure cfgp
-      (Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog)
+      (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog)
   in
   Alcotest.(check string) "same results" base.Comm.Perf.checksum c2.Comm.Perf.checksum;
   Alcotest.(check bool)

@@ -164,7 +164,7 @@ let test_simple_search_wins () =
     prov.Plan.Driver.strategy;
   (* same observable program: the searched plan only reshuffles loops *)
   let greedy =
-    match Compilers.Driver.compile ~level:Compilers.Driver.C2F3
+    match Compilers.Driver.compile_opts (Compilers.Driver.opts Compilers.Driver.C2F3)
             (let b = Option.get (Suite.by_name "simple") in
              Suite.program ~tile:16 b)
     with

@@ -147,7 +147,7 @@ let test_simplify_benchmarks () =
       let prog = Suite.program ~tile b in
       List.iter
         (fun level ->
-          let c = Compilers.Driver.compile_exn ~level prog in
+          let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
           let code = c.Compilers.Driver.code in
           let simplified = Sir.Simplify.program code in
           Alcotest.(check bool)

@@ -20,7 +20,7 @@ let prog_of ?(arrays = [ "A"; "B"; "T" ]) ?(live = [ "A"; "B" ]) body =
     live_out = live;
   }
 
-let compile level prog = (Compilers.Driver.compile_exn ~level prog).Compilers.Driver.code
+let compile level prog = (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog).Compilers.Driver.code
 
 let astmt ?(r = r44) lhs rhs = Prog.Astmt (Nstmt.make ~region:r ~lhs rhs)
 

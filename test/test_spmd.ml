@@ -24,7 +24,7 @@ let prog_of ?(live = [ "Z" ]) ?(scalars = []) body =
 let astmt lhs rhs = Prog.Astmt (Nstmt.make ~region:interior ~lhs rhs)
 
 let compile ?(level = Compilers.Driver.Baseline) prog =
-  Compilers.Driver.compile_exn ~level prog
+  Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog
 
 let execute ?(machine = Machine.t3e) ?(procs = 4)
     ?(opts = Comm.Model.all_on) ?(cachesim = false) c =

@@ -35,7 +35,7 @@ let test_static_counts () =
         (name ^ " static compiler/user")
         (ec, eu)
         (Ir.Prog.static_array_counts prog);
-      let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
       Alcotest.(check int)
         (name ^ " arrays after c2")
         remaining
@@ -49,7 +49,7 @@ let test_equivalence_all_levels () =
       let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
       List.iter
         (fun level ->
-          let c = Compilers.Driver.compile_exn ~level prog in
+          let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
           let r = Exec.Interp.run c.Compilers.Driver.code in
           Alcotest.(check string)
             (Printf.sprintf "%s @ %s" b.Suite.name
@@ -66,7 +66,8 @@ let test_equivalence_favor_comm () =
       let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
       let veto = Comm.Interact.favor_comm_veto ~procs:4 prog in
       let c =
-        Compilers.Driver.compile_exn ~may_fuse:veto ~level:Compilers.Driver.C2F3
+        Compilers.Driver.compile_exn_opts
+          (Compilers.Driver.opts ~may_fuse:veto Compilers.Driver.C2F3)
           prog
       in
       let r = Exec.Interp.run c.Compilers.Driver.code in
@@ -75,7 +76,7 @@ let test_equivalence_favor_comm () =
 
 let test_ep_all_arrays_eliminated () =
   let prog = Suite.load ~tile:64 "ep" in
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   Alcotest.(check int) "no arrays left" 0
     (Compilers.Driver.remaining_arrays c);
   (* and the result is still a real computation *)
@@ -87,7 +88,7 @@ let test_tomcatv_R_contracts () =
   (* the paper's Figure 1 narrative: the multiplier R_ contracts after
      fusing with the D update under a reversed row loop *)
   let prog = Suite.load ~tile:10 "tomcatv" in
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   Alcotest.(check bool) "R_ contracted" true
     (List.mem_assoc "R_" c.Compilers.Driver.contracted);
   Alcotest.(check bool) "D allocated" true
@@ -102,7 +103,7 @@ let test_monotone_memory () =
       let prog = Suite.program ~tile:(small_tile b) b in
       let bytes level =
         Exec.Interp.footprint_bytes
-          (Compilers.Driver.compile_exn ~level prog).Compilers.Driver.code
+          (Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog).Compilers.Driver.code
       in
       let base = bytes Compilers.Driver.Baseline in
       let c1 = bytes Compilers.Driver.C1 in
@@ -133,13 +134,13 @@ let test_adi3d () =
   Alcotest.(check (pair int int))
     "static counts" (4, 4)
     (Ir.Prog.static_array_counts prog);
-  let c2 = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c2 = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   Alcotest.(check int) "U, RHS, COEF remain" 3
     (Compilers.Driver.remaining_arrays c2);
   let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
   List.iter
     (fun level ->
-      let c = Compilers.Driver.compile_exn ~level prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
       Alcotest.(check string)
         ("adi3d @ " ^ Compilers.Driver.level_name level)
         reference
@@ -234,7 +235,7 @@ let test_fragments_execute () =
     (fun (f : Suite.Fragments.t) ->
       let prog = Zap.Elaborate.compile_string f.Suite.Fragments.source in
       let reference = Exec.Refinterp.checksum (Exec.Refinterp.run prog) in
-      let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2F3 prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2F3) prog in
       let r = Exec.Interp.run c.Compilers.Driver.code in
       Alcotest.(check string)
         (Printf.sprintf "fragment (%d)" f.Suite.Fragments.id)

@@ -121,7 +121,7 @@ end.
   let prog = compile src in
   Alcotest.(check (pair int int)) "temp inserted" (1, 1)
     (Prog.static_array_counts prog);
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   Alcotest.(check int) "temp contracted away" 1
     (Compilers.Driver.remaining_arrays c)
 
@@ -237,7 +237,7 @@ let test_zap_end_to_end () =
   let ref_sum = Exec.Refinterp.checksum reference in
   List.iter
     (fun level ->
-      let c = Compilers.Driver.compile_exn ~level prog in
+      let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts level) prog in
       let r = Exec.Interp.run c.Compilers.Driver.code in
       Alcotest.(check string)
         (Compilers.Driver.level_name level)
@@ -249,7 +249,7 @@ let test_zap_end_to_end () =
 
 let test_heat_contraction () =
   let prog = compile heat_src in
-  let c = Compilers.Driver.compile_exn ~level:Compilers.Driver.C2 prog in
+  let c = Compilers.Driver.compile_exn_opts (Compilers.Driver.opts Compilers.Driver.C2) prog in
   (* Flux is consumed at offset 0 and contracts; B cannot — the
      stencil's mixed-sign anti dependences against the A update leave
      its producer and consumers unfusable (no legal loop structure). *)
