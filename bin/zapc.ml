@@ -47,7 +47,8 @@ let parse_plan name =
   match Api.plan_mode_of_name name with
   | Some m -> Ok m
   | None ->
-      Error (Diag.errorf ~phase:"cli" "unknown --plan %S (greedy|search)" name)
+      Error
+        (Diag.errorf ~phase:"cli" "unknown --plan %S (greedy|search|ilp)" name)
 
 (* --stats SPEC: "json:FILE", "text:FILE", or the bare format name
    (destination defaults to stdout, spelled "-"). *)
@@ -221,11 +222,23 @@ let render ~quiet ~emit_c_path ~stats ~recorder (s : Api.summary) provenance
       s.Api.footprint_bytes;
     match provenance with
     | Some p ->
-        Printf.printf "plan %s on %s x%d: greedy %.3f ms, search %.3f ms%s\n"
+        let ilp =
+          match p.Plan.Driver.ilp_total_ns with
+          | Some ns ->
+              Printf.sprintf ", ilp %.3f ms%s" (ns /. 1e6)
+                (if p.Plan.Driver.proved_optimal = Some true then
+                   " (proved optimal)"
+                 else "")
+          | None -> ""
+        in
+        Printf.printf "plan %s on %s x%d: greedy %.3f ms, search %.3f ms%s%s\n"
           p.Plan.Driver.strategy p.Plan.Driver.machine p.Plan.Driver.procs
           (p.Plan.Driver.greedy_total_ns /. 1e6)
           (p.Plan.Driver.search_total_ns /. 1e6)
-          (if p.Plan.Driver.fallback then " (kept greedy)" else "")
+          ilp
+          (if p.Plan.Driver.fallback then
+             Printf.sprintf " (kept %s)" p.Plan.Driver.strategy
+           else "")
     | None -> ()
   end;
   let spmd_report =
@@ -581,10 +594,13 @@ let plan_arg =
     & info [ "plan" ] ~docv:"STRATEGY"
         ~doc:
           "Fusion planning strategy: $(b,greedy) (the paper's level \
-           ladder, default) or $(b,search) (branch-and-bound over fusion \
+           ladder, default), $(b,search) (branch-and-bound over fusion \
            partitions against the unified cost model for \
            $(b,--machine)/$(b,--procs); never worse than greedy under \
-           the model; provenance lands in $(b,--stats json)).")
+           the model) or $(b,ilp) (0/1 integer program over valid \
+           clusters, solved by branch-and-cut: never worse than search, \
+           and provably optimal when the certificate closes — see \
+           docs/planner.md; provenance lands in $(b,--stats json)).")
 
 let list_levels_arg =
   Arg.(

@@ -82,15 +82,21 @@ let cc_cmd = "cc -O2 -fno-builtin -ffp-contract=off"
    domain) could claim the same name, and parallel campaigns hit
    exactly that.  [mkdir] itself is the atomic claim — we retry over
    randomized names until one succeeds, and each task therefore owns a
-   unique workdir. *)
+   unique workdir.
+
+   [salt] is derived from the case being run (the emitted C source,
+   itself a pure function of the per-case PRNG seed), NOT from the
+   wall clock: two domains starting their cases in the same
+   microsecond used to share a gettimeofday-derived salt and burn
+   mkdir retries against each other.  The atomic counter alone makes
+   names unique within the process; the salt keeps them distinct
+   across processes that share a recycled pid. *)
 let dir_counter = Atomic.make 0
 
-let make_temp_dir () =
+let make_temp_dir ~salt () =
   let base = Filename.get_temp_dir_name () in
   let pid = Unix.getpid () in
-  let salt0 =
-    Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6)) land 0xFFFFFF
-  in
+  let salt0 = salt land 0xFFFFFF in
   let rec go attempt =
     if attempt >= 1000 then
       raise (Sys_error "zapfuzz: cannot create a unique temp directory")
@@ -113,7 +119,8 @@ let make_temp_dir () =
   go 0
 
 let run_native (code : Sir.Code.program) =
-  let dir = make_temp_dir () in
+  let src = Sir.Emit_c.to_string code in
+  let dir = make_temp_dir ~salt:(Hashtbl.hash src) () in
   let c_path = Filename.concat dir "prog.c" in
   let exe_path = Filename.concat dir "prog" in
   let out_path = Filename.concat dir "out" in
@@ -131,7 +138,7 @@ let run_native (code : Sir.Code.program) =
   in
   Fun.protect ~finally:cleanup @@ fun () ->
   let oc = open_out c_path in
-  output_string oc (Sir.Emit_c.to_string code);
+  output_string oc src;
   close_out oc;
   let compile =
     Printf.sprintf "%s -o %s %s -lm 2> %s" cc_cmd (Filename.quote exe_path)
@@ -200,21 +207,34 @@ let run ?(cfg = default) prog =
                       record name (Crashed m)
                   | exception e -> record name (Crashed (Printexc.to_string e))))
             cfg.levels;
-          (* search-based planner *)
+          (* search-based and ILP planners — both must agree with the
+             reference; fuzz programs are small, so a modest column cap
+             keeps the ILP's worst case bounded without ever affecting
+             correctness (capped blocks fall back, which is exactly a
+             code path worth fuzzing) *)
           if cfg.planner then begin
-            let name = "plan@search" in
-            match
-              let cost =
-                Plan.Cost.create
-                  {
-                    Plan.Cost.machine = cfg.machine;
-                    procs = cfg.plan_procs;
-                    opts = Comm.Model.all_on;
-                  }
-                  prog
-              in
-              Plan.Driver.compile ~cost prog
-            with
+            let cost () =
+              Plan.Cost.create
+                {
+                  Plan.Cost.machine = cfg.machine;
+                  procs = cfg.plan_procs;
+                  opts = Comm.Model.all_on;
+                }
+                prog
+            in
+            (let name = "plan@search" in
+             match Plan.Driver.compile ~cost:(cost ()) prog with
+             | Ok (c, _) -> (
+                 match Exec.Interp.run c.Compilers.Driver.code with
+                 | r -> check name (Exec.Interp.checksum r)
+                 | exception Exec.Interp.Runtime_error m ->
+                     record name (Crashed m))
+             | Error d ->
+                 record name (Crashed ("compile: " ^ Obs.Diagnostic.to_string d))
+             | exception e -> record name (Crashed (Printexc.to_string e)));
+            let name = "plan@ilp" in
+            let ilp = { Plan.Ilp.default with Plan.Ilp.max_clusters = 512 } in
+            match Plan.Driver.compile_ilp ~ilp ~cost:(cost ()) prog with
             | Ok (c, _) -> (
                 match Exec.Interp.run c.Compilers.Driver.code with
                 | r -> check name (Exec.Interp.checksum r)

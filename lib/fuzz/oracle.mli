@@ -3,8 +3,8 @@
     Runs one program through every executor in the repo and compares
     live-out checksums against the reference interpreter:
     {!Exec.Interp} on the code of each greedy optimization level,
-    the search-based planner, the SPMD engine at several processor
-    counts, and — when a C compiler is available — the compiled
+    the search-based and ILP planners, the SPMD engine at several
+    processor counts, and — when a C compiler is available — the compiled
     {!Sir.Emit_c} translation unit.  Checksums use
     {!Exec.Interp.Digest}, which canonicalizes NaN payloads, so only
     semantic differences register. *)
@@ -28,8 +28,8 @@ type report = {
 
 type cfg = {
   levels : Compilers.Driver.level list;  (** greedy ladder to check *)
-  planner : bool;  (** also run the search-based planner *)
-  plan_procs : int;  (** processor count the planner optimizes for *)
+  planner : bool;  (** also run the search and ILP planners *)
+  plan_procs : int;  (** processor count the planners optimize for *)
   spmd_level : Compilers.Driver.level;
   spmd_procs : int list;
   native : bool;  (** compile the emitted C when [cc] is present *)
@@ -38,8 +38,9 @@ type cfg = {
 }
 
 val default : cfg
-(** Everything on: [base..c2+f4] plus [c2+p], the search planner,
-    SPMD at 1/4/16 processors, native C at baseline and [c2+f3]. *)
+(** Everything on: [base..c2+f4] plus [c2+p], the search and ILP
+    planners, SPMD at 1/4/16 processors, native C at baseline and
+    [c2+f3]. *)
 
 val cc_available : unit -> bool
 (** Whether a [cc] is on PATH (probed once, cached; safe to call from

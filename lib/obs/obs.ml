@@ -452,7 +452,9 @@ let run t f =
   Domain.DLS.set current_key (Some t);
   Fun.protect ~finally:(fun () -> Domain.DLS.set current_key prev) f
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* CLOCK_MONOTONIC via bechamel's stub: gettimeofday is subject to NTP
+   steps, which made span durations occasionally negative. *)
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
 
 let span name f =
   match active () with

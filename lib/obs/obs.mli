@@ -185,6 +185,12 @@ val enabled : unit -> bool
 (** [true] iff a recorder is installed — guard allocation-heavy
     event construction in hot paths with this. *)
 
+val now_ns : unit -> float
+(** The monotonic clock (CLOCK_MONOTONIC) in nanoseconds — the time
+    base of every {!span}.  Monotone non-decreasing across calls:
+    immune to NTP steps, so span durations are never negative.  The
+    epoch is unspecified; only differences are meaningful. *)
+
 val span : string -> (unit -> 'a) -> 'a
 (** Time [f] as a child of the innermost open span. *)
 

@@ -73,6 +73,16 @@ val lines_of_volume : t -> int -> int
 (** Cache lines one sweep of a region of the given element volume
     touches on this machine's L1 geometry (≥ 1). *)
 
+val cluster_misses : t -> block:int -> int list -> contracted:string list -> float * float
+(** [(l1_misses, l2_misses)] of one fused cluster per block execution:
+    the cluster's statements (by block-local index) swept as one loop
+    nest through the machine's cache hierarchy, references to
+    [contracted] arrays excluded.  Memoized; safe to call from
+    parallel cost workers.  This is the per-cluster term {!block_cost}
+    sums — exposed so the ILP planner can price clusters
+    individually (the model is separable per cluster except for
+    communication; see docs/planner.md). *)
+
 val block_cost : t -> block:int -> Sir.Scalarize.block_plan -> breakdown
 (** Cost of the block under a candidate plan, scaled by the block's
     execution multiplier.  Pure given [create]'s program: safe to call

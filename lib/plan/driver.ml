@@ -3,22 +3,35 @@ type block_report = {
   stats : Search.stats;
 }
 
+type ilp_report = {
+  iblock : int;
+  istats : Ilp.stats;
+}
+
 type provenance = {
   strategy : string;
   machine : string;
   procs : int;
   greedy_total_ns : float;
   search_total_ns : float;
+  ilp_total_ns : float option;
   chosen_total_ns : float;
   fallback : bool;
+  proved_optimal : bool option;
+  certified_lb_ns : float option;
   blocks : block_report list;
+  ilp_blocks : ilp_report list;
 }
 
-let compile ?(search = Search.default) ~cost prog =
+(* greedy c2+f3 and the searched configuration, each compiled end to
+   end, plus the per-block search reports and partitions (the latter
+   seed the ILP). *)
+let greedy_and_search ~search ~cost prog =
   match Compilers.Driver.(compile_opts default_opts) prog with
   | Error d -> Error d
   | Ok greedy -> (
       let reports = ref [] in
+      let partitions = ref [] in
       let searched =
         Compilers.Driver.(compile_custom_opts default_opts) prog
           ~partition:(fun ~block ~compiler ~user g ->
@@ -26,20 +39,124 @@ let compile ?(search = Search.default) ~cost prog =
               Search.block search cost ~block ~candidates:(compiler @ user) g
             in
             reports := { block; stats } :: !reports;
+            partitions := (block, p) :: !partitions;
             p)
       in
       match searched with
       | Error d -> Error d
       | Ok searched ->
+          Ok
+            ( greedy,
+              searched,
+              List.sort (fun a b -> compare a.block b.block) (List.rev !reports),
+              !partitions ))
+
+let compile ?(search = Search.default) ~cost prog =
+  match greedy_and_search ~search ~cost prog with
+  | Error d -> Error d
+  | Ok (greedy, searched, reports, _) ->
+      let g_ns = (Cost.compiled_cost cost greedy).Cost.total_ns in
+      let s_ns = (Cost.compiled_cost cost searched).Cost.total_ns in
+      (* the block search could not see reduction absorption; keep
+         the searched plan only if it still prices no worse *)
+      let fallback = s_ns > g_ns +. search.Search.eps in
+      if fallback then Obs.count "plan.fallback-greedy" 1;
+      let chosen, strategy, chosen_ns =
+        if fallback then (greedy, "greedy", g_ns) else (searched, "search", s_ns)
+      in
+      let c = Cost.cfg cost in
+      Ok
+        ( chosen,
+          {
+            strategy;
+            machine = c.Cost.machine.Machine.name;
+            procs = c.Cost.procs;
+            greedy_total_ns = g_ns;
+            search_total_ns = s_ns;
+            ilp_total_ns = None;
+            chosen_total_ns = chosen_ns;
+            fallback;
+            proved_optimal = None;
+            certified_lb_ns = None;
+            blocks = reports;
+            ilp_blocks = [];
+          } )
+
+let compile_ilp ?(search = Search.default) ?(ilp = Ilp.default) ~cost prog =
+  match greedy_and_search ~search ~cost prog with
+  | Error d -> Error d
+  | Ok (greedy, searched, reports, partitions) -> (
+      let ilp_reports = ref [] in
+      let solved =
+        Compilers.Driver.(compile_custom_opts default_opts) prog
+          ~partition:(fun ~block ~compiler ~user g ->
+            let seeds =
+              match List.assoc_opt block partitions with
+              | Some p -> [ p ]
+              | None -> []
+            in
+            let p, istats =
+              Ilp.block ilp cost ~block ~candidates:(compiler @ user) ~seeds g
+            in
+            ilp_reports := { iblock = block; istats } :: !ilp_reports;
+            p)
+      in
+      match solved with
+      | Error d -> Error d
+      | Ok solved ->
           let g_ns = (Cost.compiled_cost cost greedy).Cost.total_ns in
           let s_ns = (Cost.compiled_cost cost searched).Cost.total_ns in
-          (* the block search could not see reduction absorption; keep
-             the searched plan only if it still prices no worse *)
-          let fallback = s_ns > g_ns +. search.Search.eps in
-          if fallback then Obs.count "plan.fallback-greedy" 1;
+          let i_ns = (Cost.compiled_cost cost solved).Cost.total_ns in
+          let eps = search.Search.eps in
+          (* rank on the full end-to-end model (reduction absorption
+             included), preferring the stronger certificate on ties:
+             the chosen plan is never worse than search or greedy *)
           let chosen, strategy, chosen_ns =
-            if fallback then (greedy, "greedy", g_ns)
-            else (searched, "search", s_ns)
+            if i_ns <= s_ns +. eps && i_ns <= g_ns +. eps then
+              (solved, "ilp", i_ns)
+            else if s_ns <= g_ns +. eps then (searched, "search", s_ns)
+            else (greedy, "greedy", g_ns)
+          in
+          let fallback = strategy <> "ilp" in
+          if fallback then Obs.count "plan.ilp.fallback" 1;
+          let ilp_blocks =
+            List.sort (fun a b -> compare a.iblock b.iblock)
+              (List.rev !ilp_reports)
+          in
+          let proved_optimal =
+            strategy = "ilp"
+            && List.for_all
+                 (fun r -> r.istats.Ilp.proved && r.istats.Ilp.objective_exact)
+                 ilp_blocks
+          in
+          (* whole-program certified lower bound: the per-block LP
+             bounds plus the plan-invariant reduction-tree term.
+             Certifies the pure Definition-5 plan space (scalar
+             contraction, no reduction absorption). *)
+          let certified_lb_ns =
+            let lbs =
+              List.map (fun r -> r.istats.Ilp.lower_bound_ns) ilp_blocks
+            in
+            if List.for_all Option.is_some lbs then begin
+              let block_lb =
+                List.fold_left
+                  (fun acc lb -> acc +. Option.get lb)
+                  0.0 lbs
+              in
+              let plan = greedy.Compilers.Driver.plan in
+              let block_sum =
+                List.fold_left ( +. ) 0.0
+                  (List.mapi
+                     (fun bi bp ->
+                       (Cost.block_cost cost ~block:bi bp).Cost.total_ns)
+                     plan)
+              in
+              let red_ns =
+                (Cost.plan_cost cost plan).Cost.total_ns -. block_sum
+              in
+              Some (block_lb +. red_ns)
+            end
+            else None
           in
           let c = Cost.cfg cost in
           Ok
@@ -50,40 +167,81 @@ let compile ?(search = Search.default) ~cost prog =
                 procs = c.Cost.procs;
                 greedy_total_ns = g_ns;
                 search_total_ns = s_ns;
+                ilp_total_ns = Some i_ns;
                 chosen_total_ns = chosen_ns;
                 fallback;
-                blocks =
-                  List.sort
-                    (fun a b -> compare a.block b.block)
-                    (List.rev !reports);
+                proved_optimal = Some proved_optimal;
+                certified_lb_ns;
+                blocks = reports;
+                ilp_blocks;
               } ))
 
 let provenance_json p =
   let open Obs.Json in
+  let opt_float = function Some v -> Float v | None -> Null in
+  let opt_bool = function Some v -> Bool v | None -> Null in
   Obj
-    [
-      ("strategy", String p.strategy);
-      ("machine", String p.machine);
-      ("procs", Int p.procs);
-      ("greedy_total_ns", Float p.greedy_total_ns);
-      ("search_total_ns", Float p.search_total_ns);
-      ("chosen_total_ns", Float p.chosen_total_ns);
-      ("fallback", Bool p.fallback);
-      ( "blocks",
-        List
-          (List.map
-             (fun r ->
-               Obj
-                 [
-                   ("block", Int r.block);
-                   ("expanded", Int r.stats.Search.expanded);
-                   ("generated", Int r.stats.Search.generated);
-                   ("pruned", Int r.stats.Search.pruned);
-                   ("deduped", Int r.stats.Search.deduped);
-                   ("beam_rounds", Int r.stats.Search.beam_rounds);
-                   ("greedy_ns", Float r.stats.Search.greedy_ns);
-                   ("best_ns", Float r.stats.Search.best_ns);
-                   ("improved", Bool r.stats.Search.improved);
-                 ])
-             p.blocks) );
-    ]
+    ([
+       ("strategy", String p.strategy);
+       ("machine", String p.machine);
+       ("procs", Int p.procs);
+       ("greedy_total_ns", Float p.greedy_total_ns);
+       ("search_total_ns", Float p.search_total_ns);
+       ("chosen_total_ns", Float p.chosen_total_ns);
+       ("fallback", Bool p.fallback);
+     ]
+    @ (match p.ilp_total_ns with
+      | None -> []
+      | Some _ ->
+          [
+            ("ilp_total_ns", opt_float p.ilp_total_ns);
+            ("proved_optimal", opt_bool p.proved_optimal);
+            ("certified_lb_ns", opt_float p.certified_lb_ns);
+          ])
+    @ [
+        ( "blocks",
+          List
+            (List.map
+               (fun r ->
+                 Obj
+                   [
+                     ("block", Int r.block);
+                     ("expanded", Int r.stats.Search.expanded);
+                     ("generated", Int r.stats.Search.generated);
+                     ("pruned", Int r.stats.Search.pruned);
+                     ("deduped", Int r.stats.Search.deduped);
+                     ("beam_rounds", Int r.stats.Search.beam_rounds);
+                     ("greedy_ns", Float r.stats.Search.greedy_ns);
+                     ("best_ns", Float r.stats.Search.best_ns);
+                     ("improved", Bool r.stats.Search.improved);
+                   ])
+               p.blocks) );
+      ]
+    @
+    match p.ilp_blocks with
+    | [] -> []
+    | ilp_blocks ->
+        [
+          ( "ilp_blocks",
+            List
+              (List.map
+                 (fun r ->
+                   Obj
+                     [
+                       ("block", Int r.iblock);
+                       ("clusters", Int r.istats.Ilp.clusters);
+                       ("complete", Bool r.istats.Ilp.complete);
+                       ("nodes", Int r.istats.Ilp.nodes);
+                       ("cuts", Int r.istats.Ilp.cuts);
+                       ("pivots", Int r.istats.Ilp.pivots);
+                       ("proved", Bool r.istats.Ilp.proved);
+                       ( "objective_exact",
+                         Bool r.istats.Ilp.objective_exact );
+                       ( "lower_bound_ns",
+                         opt_float r.istats.Ilp.lower_bound_ns );
+                       ("greedy_ns", Float r.istats.Ilp.greedy_ns);
+                       ("best_ns", Float r.istats.Ilp.best_ns);
+                       ("improved", Bool r.istats.Ilp.improved);
+                     ])
+                 ilp_blocks) );
+        ])

@@ -1,8 +1,8 @@
 (** The planner's front door: compile a program with the search-based
-    fusion/contraction strategy and report how it compares with the
-    paper's greedy ladder.
+    or ILP-based fusion/contraction strategy and report how it
+    compares with the paper's greedy ladder.
 
-    Compilation runs twice — the greedy [c2+f3] level, and
+    {!compile} runs compilation twice — the greedy [c2+f3] level, and
     [Compilers.Driver.compile_custom_opts] with {!Search.block} choosing
     each block's partition — and both final plans (after reduction
     absorption and the contraction decision, which the per-block
@@ -10,24 +10,54 @@
     searched whole-program plan prices worse than greedy's, the greedy
     result is returned instead (counter ["plan.fallback-greedy"]):
     the planner is never worse than the paper's algorithm under its
-    own model, by construction. *)
+    own model, by construction.
+
+    {!compile_ilp} adds a third configuration solved per block by
+    {!Ilp.block} (seeded with the searched partitions, so the ILP
+    incumbent starts at least as good as the search result) and
+    returns the cheapest of the three end to end, preferring the
+    stronger certificate on ties: [ilp_total_ns <= search_total_ns <=
+    greedy]-or-better holds on every cell by construction.  The
+    provenance then records per-block solver certificates and, when
+    every block's column enumeration completed, a whole-program
+    certified lower bound on the pure Definition-5 plan space. *)
 
 type block_report = {
   block : int;
   stats : Search.stats;
 }
 
+type ilp_report = {
+  iblock : int;
+  istats : Ilp.stats;
+}
+
 type provenance = {
-  strategy : string;  (** ["search"] or ["greedy"] — the plan returned *)
+  strategy : string;  (** ["ilp"], ["search"] or ["greedy"] — the plan returned *)
   machine : string;
   procs : int;
   greedy_total_ns : float;  (** whole-program cost of the greedy c2+f3 plan *)
   search_total_ns : float;  (** whole-program cost of the searched plan *)
+  ilp_total_ns : float option;  (** whole-program cost of the ILP plan ({!compile_ilp} only) *)
   chosen_total_ns : float;
   fallback : bool;
-      (** the searched plan was discarded for greedy (its per-block
-          wins did not survive reduction absorption) *)
+      (** the strongest strategy's plan was discarded (its per-block
+          wins did not survive reduction absorption): under {!compile}
+          the searched plan lost to greedy; under {!compile_ilp} the
+          ILP plan lost to search or greedy *)
+  proved_optimal : bool option;
+      (** {!compile_ilp} only: the ILP plan was returned and every
+          block's solve closed with an exact objective ([procs <= 1]) —
+          the chosen partitions are provably cost-optimal *)
+  certified_lb_ns : float option;
+      (** {!compile_ilp} only: certified whole-program lower bound
+          (per-block LP bounds + the plan-invariant reduction trees)
+          over all Definition-5 plans with scalar contraction and no
+          reduction absorption; [None] when any block's column
+          enumeration was capped *)
   blocks : block_report list;  (** per-block search outcomes, in block order *)
+  ilp_blocks : ilp_report list;
+      (** per-block ILP certificates, in block order; [[]] under {!compile} *)
 }
 
 val compile :
@@ -39,8 +69,20 @@ val compile :
     program (and carries the target machine / procs / comm options the
     search optimizes for). *)
 
+val compile_ilp :
+  ?search:Search.cfg ->
+  ?ilp:Ilp.cfg ->
+  cost:Cost.t ->
+  Ir.Prog.t ->
+  (Compilers.Driver.compiled * provenance, Obs.Diagnostic.t) result
+(** As {!compile}, plus the branch-and-cut solve ([zapc --plan ilp]).
+    Counter ["plan.ilp.fallback"] fires when the ILP plan is not the
+    one returned. *)
+
 val provenance_json : provenance -> Obs.Json.t
 (** Stable schema used by [zapc --stats] and the plan bench:
     [{"strategy", "machine", "procs", "greedy_total_ns",
     "search_total_ns", "chosen_total_ns", "fallback",
-    "blocks": [{"block", "expanded", ...}]}]. *)
+    "blocks": [{"block", "expanded", ...}]}], extended under
+    {!compile_ilp} with ["ilp_total_ns"], ["proved_optimal"],
+    ["certified_lb_ns"] and ["ilp_blocks"]. *)

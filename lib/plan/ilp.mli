@@ -1,0 +1,128 @@
+(** ILP-optimal fusion/contraction partitioning (the planner's
+    certificate engine).
+
+    {!Search} explores the partition space heuristically and loses its
+    optimality certificate the moment the beam fallback kicks in.
+    This module closes that gap: it formulates the Definition 5
+    partition problem as a 0/1 integer linear program and solves it
+    with a dependency-free branch-and-cut built on a two-phase primal
+    simplex — pure OCaml, no external solver.
+
+    {2 Encoding}
+
+    The literature encodes fusion with one 0/1 variable per fusible
+    edge ("Fusing Gathers with Integer Linear Programming"); that
+    works when the objective is linear in the edges.  Ours is not: the
+    cache-simulation term of {!Cost} charges a {e cluster} for the
+    conflict misses of its interleaved sweeps, which is not a sum of
+    pairwise contributions.  We therefore solve the column (set
+    partitioning) closure of the edge encoding — one 0/1 variable
+    [y_C] per {e valid cluster} [C], where the edge variable of the
+    classical encoding is recovered as [x_ij = Σ_{C ⊇ {i,j}} y_C]:
+
+    - {e columns}: every statement set accepted by
+      [Core.Partition.check_merge] on the trivial partition.  That
+      check is exactly Definition 5 conditions (i), (ii) and (iv) plus
+      convexity (no dependence path leaving and re-entering the set —
+      such a set can belong to {e no} acyclic partition).  Conditions
+      (i)/(ii)/(iv) are superset-monotone, so a depth-first extension
+      enumerates all columns with pruning; convexity is not monotone
+      and only filters emission, never extension;
+    - {e rows}: one equality [Σ_{C ∋ i} y_C = 1] per statement — a
+      chosen set of clusters is a partition;
+    - {e acyclicity}: condition (iii) cannot be captured by the rows
+      (two individually convex clusters can still form a condensation
+      cycle), so it is enforced by {e lazy cuts}: when the incumbent
+      LP solution is integral but its cluster graph has a cycle
+      [C_1 → … → C_k → C_1], the globally valid cut
+      [Σ y_{C_j} ≤ k - 1] is added and the node re-solved;
+    - {e objective}: the exact per-cluster cost
+      [w(C) = mult · (refs_C · l1_hit + l1m(C) · l1_miss + l2m(C) ·
+      l2_miss)], with [refs_C] the element references of [C]'s
+      statements minus the reference weight of every array contracted
+      {e within} [C].  Contraction is per-cluster decidable: an array
+      whose references all fall in [C] is contracted iff its first
+      reference writes and all its dependence UDVs are null — the
+      same test as [Core.Contraction.decide], which therefore
+      distributes over the chosen clusters.  Summed over a partition
+      this reproduces {!Cost.block_cost} exactly, {e except} for the
+      communication term, which couples clusters through pipelining
+      windows.  At [procs <= 1] communication is identically zero and
+      the objective is exact ({!stats.objective_exact}); at higher
+      [procs] the ILP optimizes the comm-free part and the final
+      choice among candidate partitions is made on the full model.
+
+    {2 Certificates}
+
+    [proved = true] means: cluster enumeration completed under
+    [max_clusters], and branch and bound closed under [max_nodes] /
+    [max_pivots] — the returned partition minimizes the separable
+    objective over {e all} valid partitions.  When additionally
+    [objective_exact], that is the true block-cost optimum.
+    [lower_bound_ns] is a certified lower bound on the block cost of
+    {e every} valid partition (the root LP relaxation value plus the
+    plan-invariant flop term); it is [None] when enumeration was
+    capped, because an incomplete column set relaxes nothing.
+
+    The incumbent is seeded with the greedy [c2+f3] partition and any
+    [seeds] the caller passes (the driver passes {!Search}'s result),
+    and every candidate is ranked by the {e full} {!Cost.block_cost}:
+    the returned partition is never worse than any seed under the
+    model, whether or not the solve completed.  Everything —
+    enumeration order, simplex pivoting (Dantzig with lowest-index
+    tie-breaks, Bland after degeneracy), branching (most-fractional,
+    lowest-index ties) — is deterministic, and [jobs] only
+    parallelizes column pricing through [Support.Pool] (task-order
+    results), so the outcome is independent of [jobs]. *)
+
+type cfg = {
+  max_clusters : int;  (** column cap; exceeding it voids the certificate *)
+  max_nodes : int;  (** branch-and-bound node budget *)
+  max_pivots : int;  (** total simplex pivot budget across all LP solves *)
+  eps : float;  (** ns tolerance below which costs count as equal *)
+  jobs : int;  (** domains pricing columns in parallel (result-invariant) *)
+}
+
+val default : cfg
+(** [{ max_clusters = 4000; max_nodes = 400; max_pivots = 200_000;
+      eps = 1e-6; jobs = 1 }] *)
+
+type stats = {
+  clusters : int;  (** columns enumerated (valid convex clusters) *)
+  complete : bool;  (** enumeration finished under [max_clusters] *)
+  nodes : int;  (** branch-and-bound nodes solved *)
+  cuts : int;  (** acyclicity cuts added *)
+  pivots : int;  (** simplex pivots spent *)
+  proved : bool;
+      (** the returned partition provably minimizes the separable
+          objective over all valid partitions *)
+  objective_exact : bool;
+      (** [procs <= 1]: no communication term, so the separable
+          objective {e is} the block cost and [proved] certifies true
+          optimality *)
+  lower_bound_ns : float option;
+      (** certified lower bound on any valid partition's block cost;
+          [None] when enumeration was capped *)
+  greedy_ns : float;  (** block cost of the greedy c2+f3 partition *)
+  best_ns : float;  (** block cost of the returned partition *)
+  improved : bool;  (** [best_ns] strictly beats [greedy_ns] *)
+}
+
+val block :
+  ?probe:(Core.Partition.t -> unit) ->
+  ?seeds:Core.Partition.t list ->
+  cfg ->
+  Cost.t ->
+  block:int ->
+  candidates:string list ->
+  Core.Asdg.t ->
+  Core.Partition.t * stats
+(** Solve one basic block, as {!Search.block} does: [candidates] are
+    the block's contraction candidates, the cost of a partition is
+    [Cost.block_cost] under [Core.Contraction.decide]'s scalar
+    contractions.  [probe] is called on every {e candidate partition}
+    ranked for the final answer (seeds, greedy, and each integral
+    acyclic ILP solution) — tests use it to assert Definition 5
+    validity.  [seeds] are alternative incumbents (must be partitions
+    of [g]).  Emits [plan.ilp.*] Obs counters and a ["plan-ilp"]
+    span. *)

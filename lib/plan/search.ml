@@ -230,8 +230,19 @@ let block ?(probe = fun (_ : Core.Partition.t) -> ()) cfg cost_t ~block
   (* ---- beam fallback --------------------------------------------- *)
   if not (Frontier.is_empty !frontier) then begin
     Obs.count "plan.beam-cutoffs" 1;
+    (* eps-canonical order: costs are compared at [cfg.eps] granularity
+       so that states the search already treats as equal-cost are
+       ranked by their canonical cluster-rep key, not by sub-eps float
+       noise — which states survive [take beam_width] must not depend
+       on how the costs were accumulated.  Quantizing keeps the
+       comparison a total order (lexicographic on a pure function of
+       the state), unlike an eps-tolerant float comparison, which is
+       not transitive. *)
+    let quantize ns = if cfg.eps > 0.0 then Float.round (ns /. cfg.eps) else ns in
     let by_cost a b =
-      compare (a.cost.Cost.total_ns, a.key) (b.cost.Cost.total_ns, b.key)
+      compare
+        (quantize a.cost.Cost.total_ns, a.key)
+        (quantize b.cost.Cost.total_ns, b.key)
     in
     let rec take k = function
       | [] -> []

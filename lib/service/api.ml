@@ -11,13 +11,17 @@ type source =
   | Bench of { name : string; tile : int option }
   | Text of { name : string; text : string }
 
-type plan_mode = Greedy | Search
+type plan_mode = Greedy | Search | Ilp
 
-let plan_mode_name = function Greedy -> "greedy" | Search -> "search"
+let plan_mode_name = function
+  | Greedy -> "greedy"
+  | Search -> "search"
+  | Ilp -> "ilp"
 
 let plan_mode_of_name = function
   | "greedy" -> Some Greedy
   | "search" -> Some Search
+  | "ilp" -> Some Ilp
   | _ -> None
 
 type compile_opts = {
@@ -226,6 +230,11 @@ let opt_int_field name j =
   match Json.member name j with
   | None | Some Json.Null -> Ok None
   | Some v -> Result.map Option.some (to_int v)
+
+let opt_bool_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (to_bool v)
 
 let map_result f l =
   let rec go acc = function
@@ -460,6 +469,49 @@ let provenance_of_json j =
           })
       bs
   in
+  (* ILP extension fields: absent under --plan search, null-tolerant *)
+  let* ilp_total_ns = opt_num_field "ilp_total_ns" j in
+  let* proved_optimal = opt_bool_field "proved_optimal" j in
+  let* certified_lb_ns = opt_num_field "certified_lb_ns" j in
+  let* ilp_blocks =
+    match Json.member "ilp_blocks" j with
+    | None | Some Json.Null -> Ok []
+    | Some v ->
+        let* ibs = to_list v in
+        map_result
+          (fun bj ->
+            let* iblock = int_field "block" bj in
+            let* clusters = int_field "clusters" bj in
+            let* complete = bool_field "complete" bj in
+            let* nodes = int_field "nodes" bj in
+            let* cuts = int_field "cuts" bj in
+            let* pivots = int_field "pivots" bj in
+            let* proved = bool_field "proved" bj in
+            let* objective_exact = bool_field "objective_exact" bj in
+            let* lower_bound_ns = opt_num_field "lower_bound_ns" bj in
+            let* greedy_ns = num_field "greedy_ns" bj in
+            let* best_ns = num_field "best_ns" bj in
+            let* improved = bool_field "improved" bj in
+            Ok
+              {
+                Plan.Driver.iblock;
+                istats =
+                  {
+                    Plan.Ilp.clusters;
+                    complete;
+                    nodes;
+                    cuts;
+                    pivots;
+                    proved;
+                    objective_exact;
+                    lower_bound_ns;
+                    greedy_ns;
+                    best_ns;
+                    improved;
+                  };
+              })
+          ibs
+  in
   Ok
     {
       Plan.Driver.strategy;
@@ -467,9 +519,13 @@ let provenance_of_json j =
       procs;
       greedy_total_ns;
       search_total_ns;
+      ilp_total_ns;
       chosen_total_ns;
       fallback;
+      proved_optimal;
+      certified_lb_ns;
       blocks;
+      ilp_blocks;
     }
 
 (* ------------------------------------------------------------------ *)

@@ -31,9 +31,11 @@ type source =
       (** zap source text; [name] labels diagnostics (the client's
           file path) *)
 
-type plan_mode = Greedy | Search
+type plan_mode = Greedy | Search | Ilp
 
 val plan_mode_name : plan_mode -> string
+(** ["greedy"], ["search"] or ["ilp"] — the wire spelling. *)
+
 val plan_mode_of_name : string -> plan_mode option
 
 type compile_opts = {

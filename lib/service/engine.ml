@@ -167,12 +167,12 @@ let cache_key ~fingerprint ~level ~(opts : Api.compile_opts)
           machine = "-";
           procs = 0;
         }
-  | Api.Search ->
+  | (Api.Search | Api.Ilp) as mode ->
       let* m = Api.machine_of_name target.Api.machine in
       Ok
         {
           Cache.fingerprint;
-          mode = "search";
+          mode = Api.plan_mode_name mode;
           machine = m.Machine.name;
           procs = target.Api.procs;
         }
@@ -186,7 +186,7 @@ let compute t ~search_jobs ~level ~(opts : Api.compile_opts)
         Compilers.Driver.compile_opts (Compilers.Driver.opts level) prog
       in
       Ok (c, None)
-  | Api.Search ->
+  | (Api.Search | Api.Ilp) as mode ->
       Atomic.incr t.compiles_computed;
       Atomic.incr t.plans_computed;
       let* m = Api.machine_of_name target.Api.machine in
@@ -200,7 +200,13 @@ let compute t ~search_jobs ~level ~(opts : Api.compile_opts)
           prog
       in
       let search = { Plan.Search.default with Plan.Search.jobs = search_jobs } in
-      let* c, prov = Plan.Driver.compile ~search ~cost prog in
+      let* c, prov =
+        match mode with
+        | Api.Ilp ->
+            let ilp = { Plan.Ilp.default with Plan.Ilp.jobs = search_jobs } in
+            Plan.Driver.compile_ilp ~search ~ilp ~cost prog
+        | _ -> Plan.Driver.compile ~search ~cost prog
+      in
       Ok (c, Some prov)
 
 let cached_compile t ~search_jobs ~level ~opts ~target prog =

@@ -287,7 +287,15 @@ let test_corpus_replays () =
           | Error m -> Alcotest.failf "%s: invalid: %s" path m);
           let r = Fuzz.Oracle.run p in
           if not (Fuzz.Oracle.ok r) then
-            Alcotest.failf "%s: diverged:@.%s" path (Fuzz.Oracle.to_string r)))
+            Alcotest.failf "%s: diverged:@.%s" path (Fuzz.Oracle.to_string r);
+          (* both planners must actually have been exercised — the
+             corpus (reduce-same-target.zir in particular) is the
+             regression net for the plan backends *)
+          List.iter
+            (fun backend ->
+              if not (List.mem_assoc backend r.Fuzz.Oracle.results) then
+                Alcotest.failf "%s: oracle skipped %s" path backend)
+            [ "plan@search"; "plan@ilp" ]))
     files
 
 (* ------------------------------------------------------------------ *)

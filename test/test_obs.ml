@@ -64,6 +64,25 @@ let test_diagnostic_render () =
     "with loc" "prog.zap:3: parse error: bad token"
     (Obs.Diagnostic.to_string d)
 
+(* ---------------- clock ------------------------------------------ *)
+
+(* now_ns is the monotonic clock: consecutive reads never go
+   backwards, even across a wall-clock step (which gettimeofday-based
+   timing was vulnerable to), and successive spans can never report
+   negative elapsed time *)
+let test_now_ns_monotonic () =
+  let prev = ref (Obs.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Obs.now_ns () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %.0f -> %.0f" !prev t;
+    prev := t
+  done;
+  let t0 = Obs.now_ns () in
+  Unix.sleepf 0.001;
+  let t1 = Obs.now_ns () in
+  Alcotest.(check bool) "advances across a sleep" true (t1 -. t0 >= 0.5e6)
+
 (* ---------------- recorder --------------------------------------- *)
 
 let test_disabled_noop () =
@@ -268,6 +287,7 @@ let suites =
       ] );
     ( "obs.recorder",
       [
+        Alcotest.test_case "now_ns is monotonic" `Quick test_now_ns_monotonic;
         Alcotest.test_case "diagnostic rendering" `Quick test_diagnostic_render;
         Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
         Alcotest.test_case "span nesting" `Quick test_span_nesting;

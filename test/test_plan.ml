@@ -96,6 +96,90 @@ let prop_search_never_worse =
           stats.Plan.Search.best_ns <= stats.Plan.Search.greedy_ns +. 1e-6)
 
 (* ------------------------------------------------------------------ *)
+(* ILP partitioner properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ilp_cfg = { Plan.Ilp.default with Plan.Ilp.max_clusters = 300 }
+
+(* every partition the branch-and-cut considers — probed incumbents
+   and the returned one — must be Definition-5 valid, and each of its
+   clusters must be reachable through check_merge from the trivial
+   partition (the column enumeration claims to emit only such sets) *)
+let prop_ilp_partitions_valid =
+  QCheck.Test.make ~name:"every ILP partition is valid" ~count:120
+    (QCheck.make random_block_gen)
+    (fun specs ->
+      match mk_block specs with
+      | [] -> true
+      | stmts ->
+          let g = Core.Asdg.build stmts in
+          let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+          let all_valid = ref true in
+          let probe p =
+            if not (Core.Partition.is_valid p) then all_valid := false
+          in
+          let p, _stats =
+            Plan.Ilp.block ~probe ilp_cfg cost ~block:0
+              ~candidates:all_candidates g
+          in
+          let clusters_mergeable =
+            List.for_all
+              (fun cl ->
+                match cl with
+                | [ _ ] -> true
+                | _ -> (
+                    match
+                      Core.Partition.check_merge (Core.Partition.trivial g) cl
+                    with
+                    | Ok () -> true
+                    | Error _ -> false))
+              (Core.Partition.clusters p)
+          in
+          !all_valid && Core.Partition.is_valid p && clusters_mergeable)
+
+(* the solve is seeded with the searched partition and greedy c2+f3,
+   so the chain ilp <= search <= greedy must hold on any block *)
+let prop_ilp_never_worse =
+  QCheck.Test.make ~name:"ilp cost <= search cost <= greedy cost" ~count:120
+    (QCheck.make random_block_gen)
+    (fun specs ->
+      match mk_block specs with
+      | [] -> true
+      | stmts ->
+          let g = Core.Asdg.build stmts in
+          let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+          let sp, sstats =
+            Plan.Search.block search_cfg cost ~block:0
+              ~candidates:all_candidates g
+          in
+          let _p, istats =
+            Plan.Ilp.block ~seeds:[ sp ] ilp_cfg cost ~block:0
+              ~candidates:all_candidates g
+          in
+          istats.Plan.Ilp.best_ns <= sstats.Plan.Search.best_ns +. 1e-6
+          && sstats.Plan.Search.best_ns <= sstats.Plan.Search.greedy_ns +. 1e-6)
+
+(* when the solver proves optimality the certified bound must bracket
+   the incumbent from below (and match it at the reported objective) *)
+let prop_ilp_bound_sound =
+  QCheck.Test.make ~name:"certified bound <= proved optimum" ~count:120
+    (QCheck.make random_block_gen)
+    (fun specs ->
+      match mk_block specs with
+      | [] -> true
+      | stmts ->
+          let g = Core.Asdg.build stmts in
+          let cost = Plan.Cost.create cost_cfg (mk_prog stmts) in
+          let _p, istats =
+            Plan.Ilp.block ilp_cfg cost ~block:0 ~candidates:all_candidates g
+          in
+          match istats.Plan.Ilp.lower_bound_ns with
+          | None -> true
+          | Some lb ->
+              (not istats.Plan.Ilp.proved)
+              || lb <= istats.Plan.Ilp.best_ns +. 1e-3)
+
+(* ------------------------------------------------------------------ *)
 (* Cost model sanity on a concrete block                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -240,6 +324,134 @@ let test_parallel_search_deterministic () =
         j1 j)
     [ 2; 8 ]
 
+(* the beam fallback engages when max_states is exhausted with a
+   non-empty frontier; its survivor set is ordered by eps-quantized
+   cost then canonical cluster key, so the plan must be bit-identical
+   however many domains costed the candidates *)
+let test_beam_fallback_deterministic () =
+  let run jobs =
+    let b = Option.get (Suite.by_name "simple") in
+    let prog = Suite.program ~tile:16 b in
+    let cost =
+      Plan.Cost.create
+        { Plan.Cost.machine = Machine.t3e; procs = 16; opts = Comm.Model.all_on }
+        prog
+    in
+    match
+      Plan.Driver.compile
+        ~search:
+          {
+            Plan.Search.default with
+            Plan.Search.max_states = 60;
+            beam_width = 2;
+            jobs;
+          }
+        ~cost prog
+    with
+    | Ok (c, prov) ->
+        let rounds =
+          List.fold_left
+            (fun acc (r : Plan.Driver.block_report) ->
+              acc + r.Plan.Driver.stats.Plan.Search.beam_rounds)
+            0 prov.Plan.Driver.blocks
+        in
+        ( plan_fingerprint c,
+          Obs.Json.to_string (Plan.Driver.provenance_json prov),
+          rounds )
+    | Error d ->
+        Alcotest.failf "plan compile failed: %s" (Obs.Diagnostic.to_string d)
+  in
+  let f1, j1, rounds = run 1 in
+  Alcotest.(check bool) "beam fallback actually ran" true (rounds > 0);
+  List.iter
+    (fun jobs ->
+      let f, j, _ = run jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "beam plan identical at %d jobs" jobs)
+        f1 f;
+      Alcotest.(check string)
+        (Printf.sprintf "beam provenance identical at %d jobs" jobs)
+        j1 j)
+    [ 2; 8 ]
+
+let ilp_compile ?(machine = Machine.t3e) ?(procs = 1) ?(max_clusters = 1500)
+    name =
+  let b =
+    match Suite.by_name name with
+    | Some b -> b
+    | None -> Alcotest.failf "no bench %s" name
+  in
+  let prog = Suite.program ~tile:16 b in
+  let cost =
+    Plan.Cost.create { Plan.Cost.machine; procs; opts = Comm.Model.all_on } prog
+  in
+  match
+    Plan.Driver.compile_ilp
+      ~search:
+        { Plan.Search.default with Plan.Search.max_states = 600; beam_width = 2 }
+      ~ilp:{ Plan.Ilp.default with Plan.Ilp.max_clusters }
+      ~cost prog
+  with
+  | Ok (c, prov) -> (prog, c, prov)
+  | Error d ->
+      Alcotest.failf "ilp compile failed: %s" (Obs.Diagnostic.to_string d)
+
+(* the full chain on a real benchmark, plus checksum equality against
+   the greedy ladder — the ILP may only reshuffle loops, never results *)
+let test_ilp_chain_and_checksum () =
+  let _prog, c, prov = ilp_compile ~procs:16 "simple" in
+  let g = prov.Plan.Driver.greedy_total_ns
+  and s = prov.Plan.Driver.search_total_ns in
+  let i =
+    match prov.Plan.Driver.ilp_total_ns with
+    | Some i -> i
+    | None -> Alcotest.fail "compile_ilp reported no ilp_total_ns"
+  in
+  Alcotest.(check bool) "ilp <= search" true (i <= s +. 1e-6);
+  Alcotest.(check bool) "search <= greedy" true (s <= g +. 1e-6);
+  Alcotest.(check bool) "ilp blocks reported" true
+    (prov.Plan.Driver.ilp_blocks <> []);
+  let greedy =
+    match
+      Compilers.Driver.compile_opts
+        (Compilers.Driver.opts Compilers.Driver.C2F3)
+        (let b = Option.get (Suite.by_name "simple") in
+         Suite.program ~tile:16 b)
+    with
+    | Ok g -> g
+    | Error d ->
+        Alcotest.failf "greedy compile failed: %s" (Obs.Diagnostic.to_string d)
+  in
+  Alcotest.(check string) "checksum matches greedy"
+    (Exec.Interp.checksum (Exec.Interp.run greedy.Compilers.Driver.code))
+    (Exec.Interp.checksum (Exec.Interp.run c.Compilers.Driver.code))
+
+(* at procs=1 (no comm term) on a block small enough to enumerate
+   completely, the solve must close with a certificate: proved, and
+   the certified bound equal to the chosen cost *)
+let test_ilp_proves_small_bench () =
+  let _prog, _c, prov = ilp_compile ~procs:1 "frac" in
+  (match prov.Plan.Driver.proved_optimal with
+  | Some true -> ()
+  | _ -> Alcotest.fail "frac @ procs=1 should be proved optimal");
+  match (prov.Plan.Driver.certified_lb_ns, prov.Plan.Driver.ilp_total_ns) with
+  | Some lb, Some i ->
+      Alcotest.(check bool) "bound brackets the optimum" true
+        (lb <= i +. 1e-3 && i <= lb +. 1e-3)
+  | _ -> Alcotest.fail "proved cell must carry a certified bound"
+
+(* two identical solves must agree bit-for-bit, plans and provenance
+   JSON alike — the B&B explores a deterministic tree *)
+let test_ilp_deterministic () =
+  let run () =
+    let _prog, c, prov = ilp_compile ~procs:4 "sp" ~max_clusters:400 in
+    (plan_fingerprint c, Obs.Json.to_string (Plan.Driver.provenance_json prov))
+  in
+  let f1, j1 = run () in
+  let f2, j2 = run () in
+  Alcotest.(check string) "same plan" f1 f2;
+  Alcotest.(check string) "same provenance JSON" j1 j2
+
 let test_never_worse_across_suite () =
   List.iter
     (fun (b : Suite.bench) ->
@@ -262,9 +474,20 @@ let suites =
           test_deterministic;
         Alcotest.test_case "parallel search matches sequential" `Slow
           test_parallel_search_deterministic;
+        Alcotest.test_case "beam fallback deterministic across jobs" `Slow
+          test_beam_fallback_deterministic;
+        Alcotest.test_case "ilp chain holds, checksum equal" `Slow
+          test_ilp_chain_and_checksum;
+        Alcotest.test_case "ilp proves small bench optimal" `Slow
+          test_ilp_proves_small_bench;
+        Alcotest.test_case "ilp deterministic plans and provenance" `Slow
+          test_ilp_deterministic;
         Alcotest.test_case "search never worse across suite" `Slow
           test_never_worse_across_suite;
         QCheck_alcotest.to_alcotest prop_search_states_valid;
         QCheck_alcotest.to_alcotest prop_search_never_worse;
+        QCheck_alcotest.to_alcotest prop_ilp_partitions_valid;
+        QCheck_alcotest.to_alcotest prop_ilp_never_worse;
+        QCheck_alcotest.to_alcotest prop_ilp_bound_sound;
       ] );
   ]

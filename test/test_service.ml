@@ -250,8 +250,12 @@ let sample_provenance =
     procs = 16;
     greedy_total_ns = 1234.5;
     search_total_ns = 1000.25;
+    ilp_total_ns = None;
     chosen_total_ns = 1000.25;
     fallback = false;
+    proved_optimal = None;
+    certified_lb_ns = None;
+    ilp_blocks = [];
     blocks =
       [
         {
