@@ -72,6 +72,7 @@ let sections =
     ("ablate", Figures.ablate);
     ("spmd", Spmd_agree.section);
     ("plan", Plan_gap.section);
+    ("native", Native_exec.section);
     ("fuzz", Fuzz_smoke.section);
     ("zapd", Zapd_load.section);
     ("lazy", Lazy_stream.section);

@@ -44,7 +44,7 @@ let workload_once () =
       let search = { greedy with Api.plan = Api.Search } in
       [
         Api.Run
-          { source; opts = greedy; target = Api.default_target; spmd = false };
+          { source; opts = greedy; target = Api.default_target; spmd = false; native = false };
         Api.Compile { source; opts = search; target = Api.default_target };
       ])
     (benches ())

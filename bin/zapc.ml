@@ -104,7 +104,18 @@ let dispatch ~connect ~jobs req =
 (* Response rendering                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let stats_json ?spmd ?plan (s : Api.summary) report =
+let native_json (n : Api.native_summary) =
+  let open Obs.Json in
+  Obj
+    [
+      ("checksum", String n.Api.native_checksum);
+      ("wall_ns", Int (Int64.to_int n.Api.native_wall_ns));
+      ("compiler", String n.Api.native_compiler);
+      ("units", Int n.Api.native_units);
+      ("matches", Bool n.Api.native_matches);
+    ]
+
+let stats_json ?spmd ?native ?plan (s : Api.summary) report =
   let open Obs.Json in
   let base =
     [
@@ -130,6 +141,11 @@ let stats_json ?spmd ?plan (s : Api.summary) report =
   in
   let base = match spmd with Some j -> base @ [ ("spmd", j) ] | None -> base in
   let base =
+    match native with
+    | Some n -> base @ [ ("native", native_json n) ]
+    | None -> base
+  in
+  let base =
     match plan with
     | Some p -> base @ [ ("plan", Plan.Driver.provenance_json p) ]
     | None -> base
@@ -138,10 +154,11 @@ let stats_json ?spmd ?plan (s : Api.summary) report =
   | Obj fields -> Obj (base @ fields)
   | other -> Obj (base @ [ ("report", other) ])
 
-let write_stats ?spmd ?plan (fmt, dest) summary report =
+let write_stats ?spmd ?native ?plan (fmt, dest) summary report =
   let text =
     match fmt with
-    | "json" -> Obs.Json.to_string (stats_json ?spmd ?plan summary report) ^ "\n"
+    | "json" ->
+        Obs.Json.to_string (stats_json ?spmd ?native ?plan summary report) ^ "\n"
     | _ -> Format.asprintf "%a" Obs.pp_report report
   in
   if dest = "-" then begin
@@ -190,6 +207,17 @@ let print_spmd ~quiet (p : Api.perf) (s : Api.spmd_summary) =
       | Some pct -> Printf.sprintf "  L1 miss %.2f%%" pct
       | None -> "")
       s.Api.spmd_checksum
+
+let print_native ~quiet (n : Api.native_summary) =
+  if not quiet then
+    Printf.printf
+      "native: wall %.3f ms over %d cluster units (%s)\n\
+      \  compiler %s\n\
+      \  checksum %s\n"
+      (Int64.to_float n.Api.native_wall_ns /. 1e6)
+      n.Api.native_units
+      (if n.Api.native_matches then "matches model" else "DIVERGES from model")
+      n.Api.native_compiler n.Api.native_checksum
 
 let render ~quiet ~emit_c_path ~stats ~recorder (s : Api.summary) provenance
     perf_spmd =
@@ -241,17 +269,19 @@ let render ~quiet ~emit_c_path ~stats ~recorder (s : Api.summary) provenance
            else "")
     | None -> ()
   end;
-  let spmd_report =
+  let spmd_report, native_summary =
     match perf_spmd with
-    | Some (perf, spmd) ->
+    | Some (perf, spmd, native) ->
         print_perf ~quiet perf;
         Option.iter (fun sp -> print_spmd ~quiet perf sp) spmd;
-        Option.map (fun sp -> sp.Api.report) spmd
-    | None -> None
+        Option.iter (fun n -> print_native ~quiet n) native;
+        (Option.map (fun sp -> sp.Api.report) spmd, native)
+    | None -> (None, None)
   in
   match (recorder, stats) with
   | Some r, Some spec ->
-      write_stats ?spmd:spmd_report ?plan:provenance spec s (Obs.report r)
+      write_stats ?spmd:spmd_report ?native:native_summary ?plan:provenance
+        spec s (Obs.report r)
   | _ -> Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -414,8 +444,8 @@ let list_levels () =
     (Compilers.Driver.all_levels @ [ Compilers.Driver.C2P ])
 
 let main bench file level config tile merge simplify dump_ir dump_plan_f
-    dump_c emit_c run machine procs spmd trace stats plan list_levels_f fuzz
-    seed fuzz_out trace_mode lazy_demo jobs connect server_stats shutdown =
+    dump_c emit_c run machine procs spmd native trace stats plan list_levels_f
+    fuzz seed fuzz_out trace_mode lazy_demo jobs connect server_stats shutdown =
   let result =
     if list_levels_f then Ok (list_levels ())
     else if shutdown then daemon_request ~connect Api.Shutdown
@@ -459,8 +489,13 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
       }
     in
     let target = { Api.machine; procs } in
+    let* () =
+      if native && not run then
+        Error (Diag.error ~phase:"cli" "--native needs --run")
+      else Ok ()
+    in
     let req =
-      if run then Api.Run { source; opts; target; spmd }
+      if run then Api.Run { source; opts; target; spmd; native }
       else Api.Compile { source; opts; target }
     in
     let* resp = dispatch ~connect ~jobs req in
@@ -469,9 +504,9 @@ let main bench file level config tile merge simplify dump_ir dump_plan_f
     | Api.Compiled { summary; provenance } ->
         render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
           None
-    | Api.Ran { summary; provenance; perf; spmd } ->
+    | Api.Ran { summary; provenance; perf; spmd; native } ->
         render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
-          (Some (perf, spmd))
+          (Some (perf, spmd, native))
     | Api.Planned { summary; provenance } ->
         render ~quiet ~emit_c_path:emit_c ~stats ~recorder summary provenance
           None
@@ -567,6 +602,16 @@ let spmd_arg =
            processor grid (one evaluator per processor, explicit border \
            exchanges) and report the executed counters next to the \
            modeled ones.")
+
+let native_arg =
+  Arg.(
+    value & flag
+    & info [ "native" ]
+        ~doc:
+          "With $(b,--run): also compile the plan's emitted C to a native \
+           runner (content-addressed artifact cache; a warm plan re-runs \
+           with zero $(b,cc) invocations) and execute it, reporting real \
+           wall-clock and the live-out checksum next to the modeled run.")
 
 let trace_arg =
   Arg.(
@@ -706,7 +751,7 @@ let cmd =
         (const main $ bench_arg $ file_arg $ level_arg $ config_arg
        $ tile_arg $ merge_arg $ simplify_arg $ dump_ir_arg $ dump_plan_arg
        $ dump_c_arg $ emit_c_arg $ run_arg $ machine_arg $ procs_arg
-       $ spmd_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
+       $ spmd_arg $ native_arg $ trace_arg $ stats_arg $ plan_arg $ list_levels_arg
        $ fuzz_arg $ seed_arg $ fuzz_out_arg $ trace_mode_arg $ lazy_demo_arg
        $ jobs_arg $ connect_arg $ server_stats_arg $ shutdown_arg))
 

@@ -11,8 +11,10 @@
 
 open Cmdliner
 
-let main socket shards capacity jobs quiet =
-  let engine = Service.Engine.create ~shards ~capacity ~jobs () in
+let main socket shards capacity jobs native_root quiet =
+  let engine =
+    Service.Engine.create ~shards ~capacity ~jobs ?native_root ()
+  in
   let on_ready () =
     if not quiet then Printf.printf "zapd: listening on %s\n%!" socket
   in
@@ -55,6 +57,17 @@ let jobs_arg =
           "Worker domains for batch requests and search-planner candidate \
            costing.  Responses are byte-identical at every $(docv).")
 
+let native_root_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "native-root" ] ~docv:"DIR"
+        ~doc:
+          "Directory for content-addressed native artifacts (default: a \
+           per-user directory under the system temp dir).  Artifacts \
+           survive daemon restarts: a re-started zapd re-adopts runners \
+           it finds there without invoking $(b,cc).")
+
 let quiet_arg =
   Arg.(
     value & flag
@@ -67,6 +80,6 @@ let cmd =
     Term.(
       term_result ~usage:false
         (const main $ socket_arg $ shards_arg $ capacity_arg $ jobs_arg
-       $ quiet_arg))
+       $ native_root_arg $ quiet_arg))
 
 let () = exit (Cmd.eval cmd)

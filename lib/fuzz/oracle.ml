@@ -7,8 +7,8 @@
        (the paper ladder base..c2+f4, plus the c2+p extension);
      - the search-based planner (zapc --plan search);
      - the SPMD engine on 1/4/16 simulated processors;
-     - when a C compiler is present, the Sir.Emit_c translation unit,
-       compiled and executed natively.
+     - when a C compiler is present, the Native runner built from the
+       Sir.Emit_c translation units and executed as a subprocess.
 
    Checksums go through Interp.Digest, which canonicalizes NaN
    payloads — a payload difference between OCaml's ** and libm's pow
@@ -52,116 +52,13 @@ let default =
     machine = Machine.t3e;
   }
 
-(* Not a [lazy]: forcing a lazy concurrently from two domains raises
-   Lazy.Undefined, and parallel campaigns probe this from every
-   worker.  Racing the probe itself is harmless — both domains compute
-   the same answer. *)
-let cc_available =
-  let cached = Atomic.make None in
-  fun () ->
-    match Atomic.get cached with
-    | Some v -> v
-    | None ->
-        let v = Sys.command "cc --version > /dev/null 2>&1" = 0 in
-        Atomic.set cached (Some v);
-        v
-
-(* ------------------------------------------------------------------ *)
-(* Native execution of the emitted C                                   *)
-(* ------------------------------------------------------------------ *)
-
-(* -fno-builtin keeps the compiler from constant-folding libm calls
-   (its compile-time evaluation may differ from the runtime libm the
-   interpreters share by an ulp); -ffp-contract=off forbids fusing
-   a*b+c into fma, which changes results on fma hardware. *)
-let cc_cmd = "cc -O2 -fno-builtin -ffp-contract=off"
-
-(* mkdtemp-style workdir creation.  The old
-   [Filename.temp_file] → [Sys.remove] → [Sys.mkdir] dance had a
-   TOCTOU window: between the remove and the mkdir another process (or
-   domain) could claim the same name, and parallel campaigns hit
-   exactly that.  [mkdir] itself is the atomic claim — we retry over
-   randomized names until one succeeds, and each task therefore owns a
-   unique workdir.
-
-   [salt] is derived from the case being run (the emitted C source,
-   itself a pure function of the per-case PRNG seed), NOT from the
-   wall clock: two domains starting their cases in the same
-   microsecond used to share a gettimeofday-derived salt and burn
-   mkdir retries against each other.  The atomic counter alone makes
-   names unique within the process; the salt keeps them distinct
-   across processes that share a recycled pid. *)
-let dir_counter = Atomic.make 0
-
-let make_temp_dir ~salt () =
-  let base = Filename.get_temp_dir_name () in
-  let pid = Unix.getpid () in
-  let salt0 = salt land 0xFFFFFF in
-  let rec go attempt =
-    if attempt >= 1000 then
-      raise (Sys_error "zapfuzz: cannot create a unique temp directory")
-    else begin
-      let name =
-        Printf.sprintf "zapfuzz-%d-%d-%06x" pid
-          (Atomic.fetch_and_add dir_counter 1)
-          ((salt0 + (attempt * 0x9E3779)) land 0xFFFFFF)
-      in
-      let dir = Filename.concat base name in
-      match Sys.mkdir dir 0o700 with
-      | () -> dir
-      | exception Sys_error _ when not (Sys.file_exists dir) ->
-          (* the parent is missing or unwritable: retrying cannot help *)
-          raise
-            (Sys_error (Printf.sprintf "zapfuzz: cannot create %s" dir))
-      | exception Sys_error _ -> go (attempt + 1)
-    end
-  in
-  go 0
-
-let run_native (code : Sir.Code.program) =
-  let src = Sir.Emit_c.to_string code in
-  let dir = make_temp_dir ~salt:(Hashtbl.hash src) () in
-  let c_path = Filename.concat dir "prog.c" in
-  let exe_path = Filename.concat dir "prog" in
-  let out_path = Filename.concat dir "out" in
-  let err_path = Filename.concat dir "cerr" in
-  (* tolerate partially-created state: remove whatever is present and
-     ignore a dir that another cleanup (or a crash) already removed *)
-  let cleanup () =
-    (match Sys.readdir dir with
-    | entries ->
-        Array.iter
-          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
-          entries
-    | exception Sys_error _ -> ());
-    try Sys.rmdir dir with Sys_error _ -> ()
-  in
-  Fun.protect ~finally:cleanup @@ fun () ->
-  let oc = open_out c_path in
-  output_string oc src;
-  close_out oc;
-  let compile =
-    Printf.sprintf "%s -o %s %s -lm 2> %s" cc_cmd (Filename.quote exe_path)
-      (Filename.quote c_path) (Filename.quote err_path)
-  in
-  if Sys.command compile <> 0 then begin
-    let ic = open_in err_path in
-    let err = really_input_string ic (min 500 (in_channel_length ic)) in
-    close_in ic;
-    Error (Printf.sprintf "cc failed: %s" (String.trim err))
-  end
-  else if
-    Sys.command
-      (Printf.sprintf "%s > %s" (Filename.quote exe_path)
-         (Filename.quote out_path))
-    <> 0
-  then Error "compiled program crashed"
-  else begin
-    let ic = open_in out_path in
-    let line = try input_line ic with End_of_file -> "" in
-    close_in ic;
-    Ok (String.trim line)
-  end
+(* The probe, the subprocess plumbing, and the workdir logic all live
+   in [Native] now; the oracle only decides what to run and how to
+   record the outcome.  [Native.Build] invokes every subprocess through
+   [Unix.create_process] with an argv array — no shell ever parses a
+   path, so workdirs with spaces or metacharacters are safe — and its
+   errors carry the exact command line and exit status. *)
+let cc_available () = Native.Toolchain.available ()
 
 (* ------------------------------------------------------------------ *)
 (* The oracle                                                          *)
@@ -275,22 +172,27 @@ let run ?(cfg = default) prog =
                         record name (Crashed (Printexc.to_string e)))
                   cfg.spmd_procs
           end;
-          (* native, through the emitted C *)
+          (* native, through the emitted C.  The salt for the workdir
+             name is the emitted code itself (a pure function of the
+             per-case PRNG seed), never the wall clock — see
+             [Native.Build.fresh_workdir]. *)
           if cfg.native then begin
             if cc_available () then
               List.iter
                 (fun level ->
-                  let name = "cc@" ^ Compilers.Driver.level_name level in
+                  let name = "native@" ^ Compilers.Driver.level_name level in
                   match compile_result ~level prog with
                   | Error m -> record name (Crashed m)
                   | Ok c -> (
-                      match run_native c.Compilers.Driver.code with
-                      | Ok got -> check name got
-                      | Error m -> record name (Crashed m)
+                      let code = c.Compilers.Driver.code in
+                      match Native.Build.run_once ~salt:(Hashtbl.hash code) code with
+                      | Ok r -> check name r.Native.Build.checksum
+                      | Error e ->
+                          record name (Crashed (Native.Build.error_to_string e))
                       | exception e ->
                           record name (Crashed (Printexc.to_string e))))
                 cfg.native_levels
-            else record "cc" (Skipped "no C compiler")
+            else record "native" (Skipped "no C compiler")
           end;
           { reference = Some want; results = List.rev !results })
 
@@ -317,7 +219,7 @@ let focus r cfg =
       cfg with
       planner = cfg.planner && has "plan@";
       spmd_procs = (if has "spmd@" then cfg.spmd_procs else []);
-      native = cfg.native && has "cc@";
+      native = cfg.native && has "native@";
       levels = (if has "interp@" then cfg.levels else []);
     }
 

@@ -4,8 +4,9 @@
     live-out checksums against the reference interpreter:
     {!Exec.Interp} on the code of each greedy optimization level,
     the search-based and ILP planners, the SPMD engine at several
-    processor counts, and — when a C compiler is available — the compiled
-    {!Sir.Emit_c} translation unit.  Checksums use
+    processor counts, and — when a C compiler is available — the
+    {!Native} runner built from the {!Sir.Emit_c} translation units.
+    Checksums use
     {!Exec.Interp.Digest}, which canonicalizes NaN payloads, so only
     semantic differences register. *)
 
@@ -23,7 +24,7 @@ type report = {
   reference : string option;  (** refinterp checksum; [None] = it crashed *)
   results : (string * status) list;
       (** backend name → status, e.g. [("interp@c2+f3", Agree)],
-          [("spmd@c2+f3/p16", Skipped _)], [("cc@baseline", ...)] *)
+          [("spmd@c2+f3/p16", Skipped _)], [("native@baseline", ...)] *)
 }
 
 type cfg = {
@@ -43,8 +44,9 @@ val default : cfg
     [c2+f3]. *)
 
 val cc_available : unit -> bool
-(** Whether a [cc] is on PATH (probed once, cached; safe to call from
-    any domain). *)
+(** Whether a [cc] is on PATH — delegates to
+    {!Native.Toolchain.available} (probed once process-wide, cached in
+    an atomic; safe to call from any domain). *)
 
 val run : ?cfg:cfg -> Ir.Prog.t -> report
 (** The program must be [Ir.Prog.validate]-clean.  Never raises: a

@@ -1,0 +1,75 @@
+type outcome = {
+  argv : string list;
+  status : Unix.process_status;
+  stdout : string;
+  stderr : string;
+}
+
+let succeeded o = o.status = Unix.WEXITED 0
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+
+let render_argv argv = String.concat " " (List.map Filename.quote argv)
+
+let read_and_remove path =
+  let s =
+    match In_channel.with_open_bin path In_channel.input_all with
+    | s -> s
+    | exception Sys_error _ -> ""
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  s
+
+(* Filename.temp_file creates with O_EXCL, so concurrent domains and
+   processes never collide on the capture files. *)
+let capture_file tag =
+  let path = Filename.temp_file "zapnative" tag in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  (path, fd)
+
+let run argv =
+  (match argv with [] -> invalid_arg "Proc.run: empty argv" | _ -> ());
+  let prog = List.hd argv in
+  let out_path, out_fd = capture_file "out" in
+  let err_path, err_fd = capture_file "err" in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close devnull;
+        Unix.close out_fd;
+        Unix.close err_fd)
+      (fun () ->
+        try
+          Ok (Unix.create_process prog (Array.of_list argv) devnull out_fd err_fd)
+        with Unix.Unix_error (err, _, _) ->
+          (* create_process reports exec failure in the parent; fold it
+             into the shell's convention for an unlaunchable program. *)
+          Error (Unix.error_message err))
+  in
+  match pid with
+  | Error msg ->
+      (try Sys.remove out_path with Sys_error _ -> ());
+      (try Sys.remove err_path with Sys_error _ -> ());
+      {
+        argv;
+        status = Unix.WEXITED 127;
+        stdout = "";
+        stderr = Printf.sprintf "%s: %s" prog msg;
+      }
+  | Ok pid ->
+      let rec wait () =
+        match Unix.waitpid [] pid with
+        | _, status -> status
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      let status = wait () in
+      {
+        argv;
+        status;
+        stdout = read_and_remove out_path;
+        stderr = read_and_remove err_path;
+      }

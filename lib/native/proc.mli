@@ -1,0 +1,32 @@
+(** Subprocess plumbing for the native engine: spawn an argv array
+    directly ([Unix.create_process]), never a shell command line.
+
+    The old cc path interpolated file names into [Sys.command] strings;
+    a [TMPDIR] containing spaces or shell metacharacters broke
+    compilation and silently poisoned the fuzz oracle's verdict.  Here
+    no path is ever parsed by a shell: arguments go to [execvp]
+    verbatim, and stdout/stderr are captured through temp files the
+    parent opens itself. *)
+
+type outcome = {
+  argv : string list;  (** exactly what was executed *)
+  status : Unix.process_status;
+  stdout : string;
+  stderr : string;
+}
+
+val run : string list -> outcome
+(** [run argv] executes [argv] (program looked up on PATH) with stdin
+    connected to [/dev/null] and both output streams captured.  An
+    unlaunchable program surfaces as exit status 127, as a shell
+    would report it.  Raises [Invalid_argument] on an empty argv. *)
+
+val succeeded : outcome -> bool
+(** [status = WEXITED 0]. *)
+
+val status_string : Unix.process_status -> string
+(** ["exit 1"], ["signal -7"], ["stopped -19"]. *)
+
+val render_argv : string list -> string
+(** Shell-quoted rendering of the exact command, for error payloads —
+    copy-pasteable to reproduce a failed compile by hand. *)

@@ -1,0 +1,47 @@
+(** Content-addressed store of compiled native artifacts.
+
+    An artifact — the linked runner executable plus its sources — is a
+    pure function of the emitted C units, the compile command, and the
+    toolchain that answered the probe; its {e content key} is a 64-bit
+    hash of exactly those, so a plan recompiled to identical C (same
+    fingerprint, same planning regime) reuses the artifact with zero
+    cc invocations, across requests {e and} across process restarts
+    (the store root survives on disk; a re-started daemon re-adopts
+    artifacts it finds there without recompiling).
+
+    Layout: [<root>/<key16hex>/] holding [prog.h], [cluster_<k>.c],
+    [main.c], [runner] and a one-line [meta] provenance file.  Builds
+    go to a private [<root>/tmp-...] directory and are published by an
+    atomic [rename]; a concurrent builder that loses the race adopts
+    the winner's artifact.  In-memory, a mutexed memo makes the warm
+    path a hash lookup — higher-level caching (and in-flight miss
+    coalescing) lives in [Service.Engine]. *)
+
+type t
+
+type artifact = {
+  key : string;  (** 16-hex content address *)
+  runner : string;  (** absolute path of the executable *)
+  units : int;  (** cluster translation units *)
+  compiler : string;  (** {!Toolchain.describe} at build time *)
+}
+
+val default_root : unit -> string
+(** [<tmpdir>/zap-native-store-<uid>]. *)
+
+val create : ?root:string -> unit -> t
+(** The root is created on first use, not here. *)
+
+val root : t -> string
+
+val get : t -> Sir.Code.program -> (artifact * bool, Build.error) result
+(** The artifact for this program's emitted C, building it if no
+    process has yet.  The boolean is [true] when this call actually
+    compiled (a fresh build) — [false] on every reuse, whether from
+    the memo or adopted from disk. *)
+
+type stats = { builds : int; reuses : int }
+
+val stats : t -> stats
+(** Per-store counters (reset with the store, unlike
+    {!Build.total_builds}). *)

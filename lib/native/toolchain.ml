@@ -1,0 +1,55 @@
+type info = { family : string; version_line : string }
+
+let cc_argv () = [ "cc"; "-O2"; "-fno-builtin"; "-ffp-contract=off" ]
+
+let contains ~sub s =
+  Astring.String.is_infix ~affix:sub (String.lowercase_ascii s)
+
+let classify version_line =
+  if contains ~sub:"clang" version_line then "clang"
+  else if
+    contains ~sub:"gcc" version_line
+    || contains ~sub:"free software foundation" version_line
+  then "gcc"
+  else "cc"
+
+(* Not a [lazy]: forcing a lazy concurrently from two domains raises
+   Lazy.Undefined, and parallel campaigns probe this from every
+   worker.  An atomic option makes the race benign. *)
+let probed : info option option Atomic.t = Atomic.make None
+
+let detect () =
+  match Atomic.get probed with
+  | Some v -> v
+  | None ->
+      let v =
+        match Proc.run [ "cc"; "--version" ] with
+        | o when Proc.succeeded o ->
+            let version_line =
+              match String.split_on_char '\n' o.Proc.stdout with
+              | first :: _ -> String.trim first
+              | [] -> "cc"
+            in
+            Some { family = classify version_line; version_line }
+        | _ -> None
+        | exception _ -> None
+      in
+      Atomic.set probed (Some v);
+      v
+
+let available () = detect () <> None
+
+let describe () =
+  match detect () with Some i -> i.version_line | None -> "none"
+
+let note_obs () =
+  if Obs.enabled () then
+    match detect () with
+    | Some i ->
+        Obs.event
+          (Obs.Note
+             {
+               name = "native.toolchain";
+               value = Printf.sprintf "%s: %s" i.family i.version_line;
+             })
+    | None -> Obs.event (Obs.Note { name = "native.toolchain"; value = "none" })

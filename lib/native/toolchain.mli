@@ -1,0 +1,39 @@
+(** C toolchain detection, probed once per process.
+
+    Every consumer — fuzz campaigns fanning out over [Support.Pool]
+    domains, the service engine, the benches — shares one atomic
+    probe: the first caller runs [cc --version] (through {!Proc}, no
+    shell) and everyone else reads the cached result.  Racing the
+    probe itself is harmless: both domains compute the same answer.
+
+    Beyond availability, the probe records {e which} compiler answered
+    (family and version line), so artifacts and committed bench
+    reports can state their provenance. *)
+
+type info = {
+  family : string;  (** ["gcc"], ["clang"] or ["cc"] *)
+  version_line : string;  (** first line of [cc --version], verbatim *)
+}
+
+val detect : unit -> info option
+(** [None] when no [cc] is on PATH. *)
+
+val available : unit -> bool
+
+val describe : unit -> string
+(** Provenance string: the version line, or ["none"] without a
+    compiler.  Deterministic for one machine + toolchain. *)
+
+val cc_argv : unit -> string list
+(** The compile command prefix, e.g.
+    [["cc"; "-O2"; "-fno-builtin"; "-ffp-contract=off"]].
+    [-fno-builtin] keeps the compiler from constant-folding libm calls
+    (its compile-time evaluation may differ from the runtime libm the
+    interpreters share by an ulp); [-ffp-contract=off] forbids fusing
+    [a*b+c] into fma, which changes results on fma hardware. *)
+
+val note_obs : unit -> unit
+(** Record the detected compiler in the installed [Obs] recorder (a
+    ["native.toolchain"] note event), so [--stats json] and bench
+    provenance state what produced the native results.  No-op without
+    a recorder or a compiler. *)

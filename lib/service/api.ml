@@ -60,6 +60,7 @@ type request =
       opts : compile_opts;
       target : target;
       spmd : bool;
+      native : bool;
     }
   | Plan of { source : source; opts : compile_opts; target : target }
   | Batch of request list
@@ -119,6 +120,18 @@ type spmd_summary = {
   report : Json.t;
 }
 
+(* Wall-clock is the single timing-dependent field: everything else in
+   a Ran response is byte-identical between a cold and a warm serve of
+   the same request, and the stats *shape* (field set and order) never
+   varies with cache state. *)
+type native_summary = {
+  native_checksum : string;
+  native_wall_ns : int64;
+  native_compiler : string;  (** {!Native.Toolchain.describe} at build time *)
+  native_units : int;  (** cluster translation units in the artifact *)
+  native_matches : bool;  (** checksum equals the modeled run's *)
+}
+
 type cache_stats = {
   shards : int;
   cache_capacity : int;
@@ -134,6 +147,9 @@ type server_stats = {
   cache : cache_stats;
   compiles_computed : int;
   plans_computed : int;
+  natives_built : int;
+  natives_reused : int;
+  native_runs : int;
 }
 
 type response =
@@ -146,6 +162,7 @@ type response =
       provenance : Plan.Driver.provenance option;
       perf : perf;
       spmd : spmd_summary option;
+      native : native_summary option;
     }
   | Planned of {
       summary : summary;
@@ -352,7 +369,7 @@ let rec request_to_json = function
           ("opts", opts_to_json opts);
           ("target", target_to_json target);
         ]
-  | Run { source; opts; target; spmd } ->
+  | Run { source; opts; target; spmd; native } ->
       Json.Obj
         ([
            ("op", Json.String "run");
@@ -360,7 +377,8 @@ let rec request_to_json = function
            ("opts", opts_to_json opts);
            ("target", target_to_json target);
          ]
-        @ if spmd then [ ("spmd", Json.Bool true) ] else [])
+        @ (if spmd then [ ("spmd", Json.Bool true) ] else [])
+        @ if native then [ ("native", Json.Bool true) ] else [])
   | Plan { source; opts; target } ->
       Json.Obj
         [
@@ -410,7 +428,12 @@ let rec request_of_json j =
       let* spmd =
         match Json.member "spmd" j with None -> Ok false | Some v -> to_bool v
       in
-      Ok (Run { source; opts; target; spmd })
+      let* native =
+        match Json.member "native" j with
+        | None -> Ok false
+        | Some v -> to_bool v
+      in
+      Ok (Run { source; opts; target; spmd; native })
   | "plan" ->
       let* source, opts, target = sot () in
       Ok (Plan { source; opts; target })
@@ -702,6 +725,33 @@ let spmd_of_json j =
       report;
     }
 
+(* wall_ns is serialized as a JSON integer: runner wall clocks are far
+   below 2^62 ns (about 146 years) *)
+let native_to_json (n : native_summary) =
+  Json.Obj
+    [
+      ("checksum", Json.String n.native_checksum);
+      ("wall_ns", Json.Int (Int64.to_int n.native_wall_ns));
+      ("compiler", Json.String n.native_compiler);
+      ("units", Json.Int n.native_units);
+      ("matches", Json.Bool n.native_matches);
+    ]
+
+let native_of_json j =
+  let* native_checksum = str_field "checksum" j in
+  let* wall = int_field "wall_ns" j in
+  let* native_compiler = str_field "compiler" j in
+  let* native_units = int_field "units" j in
+  let* native_matches = bool_field "matches" j in
+  Ok
+    {
+      native_checksum;
+      native_wall_ns = Int64.of_int wall;
+      native_compiler;
+      native_units;
+      native_matches;
+    }
+
 let stats_to_json (s : server_stats) =
   Json.Obj
     [
@@ -720,6 +770,13 @@ let stats_to_json (s : server_stats) =
           ] );
       ("compiles_computed", Json.Int s.compiles_computed);
       ("plans_computed", Json.Int s.plans_computed);
+      ( "native",
+        Json.Obj
+          [
+            ("built", Json.Int s.natives_built);
+            ("reused", Json.Int s.natives_reused);
+            ("runs", Json.Int s.native_runs);
+          ] );
     ]
 
 let stats_of_json j =
@@ -744,6 +801,10 @@ let stats_of_json j =
   let* insertions = int_field "insertions" cj in
   let* compiles_computed = int_field "compiles_computed" j in
   let* plans_computed = int_field "plans_computed" j in
+  let* nj = field "native" j in
+  let* natives_built = int_field "built" nj in
+  let* natives_reused = int_field "reused" nj in
+  let* native_runs = int_field "runs" nj in
   Ok
     {
       requests;
@@ -751,6 +812,9 @@ let stats_of_json j =
         { shards; cache_capacity; entries; hits; misses; evictions; insertions };
       compiles_computed;
       plans_computed;
+      natives_built;
+      natives_reused;
+      native_runs;
     }
 
 let diag_of_json j =
@@ -778,7 +842,7 @@ let rec response_to_json = function
            ("summary", summary_to_json summary);
          ]
         @ prov_json "provenance" provenance)
-  | Ran { summary; provenance; perf; spmd } ->
+  | Ran { summary; provenance; perf; spmd; native } ->
       Json.Obj
         ([
            ("ok", Json.Bool true);
@@ -787,7 +851,11 @@ let rec response_to_json = function
          ]
         @ prov_json "provenance" provenance
         @ [ ("perf", perf_to_json perf) ]
-        @ match spmd with Some s -> [ ("spmd", spmd_to_json s) ] | None -> [])
+        @ (match spmd with Some s -> [ ("spmd", spmd_to_json s) ] | None -> [])
+        @
+        match native with
+        | Some n -> [ ("native", native_to_json n) ]
+        | None -> [])
   | Planned { summary; provenance } ->
       Json.Obj
         ([
@@ -850,7 +918,12 @@ let rec response_of_json j =
           | None -> Ok None
           | Some sp -> Result.map Option.some (spmd_of_json sp)
         in
-        Ok (Ran { summary; provenance; perf; spmd })
+        let* native =
+          match Json.member "native" j with
+          | None -> Ok None
+          | Some n -> Result.map Option.some (native_of_json n)
+        in
+        Ok (Ran { summary; provenance; perf; spmd; native })
     | "batch" ->
         let* rs = Result.bind (field "responses" j) to_list in
         let* responses = map_result response_of_json rs in

@@ -14,7 +14,10 @@
     fields: a response is a pure function of its request and the
     engine configuration, which is what makes replies byte-identical
     across cold/warm caches and at any [--jobs] (the PR 5 determinism
-    bar).  Cache effectiveness is observable only through the
+    bar).  The single exception is [native_wall_ns] — a real machine's
+    wall clock — inside an explicitly requested {!native_summary}; the
+    stats {e shape} (field set and order) still never varies with
+    cache state.  Cache effectiveness is observable only through the
     aggregate {!Stats} request. *)
 
 val protocol_version : int
@@ -69,6 +72,9 @@ type request =
       opts : compile_opts;
       target : target;
       spmd : bool;  (** also execute on the simulated processor grid *)
+      native : bool;
+          (** also compile the plan's emitted C to a native runner
+              (artifact-cached next to the plan) and execute it *)
     }
   | Plan of { source : source; opts : compile_opts; target : target }
       (** like [Compile] but the response centers on planning: the
@@ -131,6 +137,17 @@ type spmd_summary = {
   report : Obs.Json.t;  (** full {!Spmd.report_json} payload, for [--stats] *)
 }
 
+type native_summary = {
+  native_checksum : string;  (** live-out digest printed by the runner *)
+  native_wall_ns : int64;
+      (** monotonic nanoseconds over the cluster calls — the one
+          timing-dependent field in a [Ran] response; everything else
+          is byte-identical cold vs warm *)
+  native_compiler : string;  (** toolchain description at build time *)
+  native_units : int;  (** cluster translation units in the artifact *)
+  native_matches : bool;  (** [native_checksum] equals [perf.checksum] *)
+}
+
 type cache_stats = {
   shards : int;
   cache_capacity : int;
@@ -148,6 +165,9 @@ type server_stats = {
   cache : cache_stats;
   compiles_computed : int;
   plans_computed : int;
+  natives_built : int;  (** cold cc compile+links actually performed *)
+  natives_reused : int;  (** artifacts served without recompiling *)
+  native_runs : int;
 }
 
 type response =
@@ -160,6 +180,7 @@ type response =
       provenance : Plan.Driver.provenance option;
       perf : perf;
       spmd : spmd_summary option;
+      native : native_summary option;
     }
   | Planned of {
       summary : summary;

@@ -2,11 +2,27 @@ module Diag = Obs.Diagnostic
 
 let ( let* ) = Result.bind
 
-type cached = Compilers.Driver.compiled * Plan.Driver.provenance option
+(* A cache entry is the compiled plan plus a slot for its native
+   artifact — the content-addressed runner lives literally next to the
+   plan it executes.  The slot holds the artifact for [cc.code] as
+   cached, i.e. {e before} any per-request [--simplify] pass:
+   simplify is semantics-preserving (it changes only the dumped scalar
+   code), so the runner's checksum and the simplified dump agree by
+   construction and one artifact serves both spellings of the
+   request. *)
+type cached = {
+  cc : Compilers.Driver.compiled;
+  prov : Plan.Driver.provenance option;
+  artifact : Native.Store.artifact option Atomic.t;
+}
 
 type t = {
   pool_jobs : int;
   cache : cached Cache.t;
+  native_store : Native.Store.t;
+  natives_built : int Atomic.t;
+  natives_reused : int Atomic.t;
+  native_runs : int Atomic.t;
   req_compile : int Atomic.t;
   req_run : int Atomic.t;
   req_plan : int Atomic.t;
@@ -28,10 +44,15 @@ type t = {
   inflight : (string, unit) Hashtbl.t;
 }
 
-let create ?shards ?capacity ?(jobs = Support.Pool.default_domains ()) () =
+let create ?shards ?capacity ?(jobs = Support.Pool.default_domains ())
+    ?native_root () =
   {
     pool_jobs = max 1 jobs;
     cache = Cache.create ?shards ?capacity ();
+    native_store = Native.Store.create ?root:native_root ();
+    natives_built = Atomic.make 0;
+    natives_reused = Atomic.make 0;
+    native_runs = Atomic.make 0;
     req_compile = Atomic.make 0;
     req_run = Atomic.make 0;
     req_plan = Atomic.make 0;
@@ -73,6 +94,9 @@ let counter_values t =
     (Metrics.cache_insertion, cs.Cache.insertions);
     (Metrics.compile_computed, Atomic.get t.compiles_computed);
     (Metrics.plan_computed, Atomic.get t.plans_computed);
+    (Metrics.native_build, Atomic.get t.natives_built);
+    (Metrics.native_reuse, Atomic.get t.natives_reused);
+    (Metrics.native_run, Atomic.get t.native_runs);
     (Metrics.protocol_error, Atomic.get t.protocol_errors);
   ]
 
@@ -116,6 +140,9 @@ let server_stats t =
       };
     compiles_computed = Atomic.get t.compiles_computed;
     plans_computed = Atomic.get t.plans_computed;
+    natives_built = Atomic.get t.natives_built;
+    natives_reused = Atomic.get t.natives_reused;
+    native_runs = Atomic.get t.native_runs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -185,7 +212,7 @@ let compute t ~search_jobs ~level ~(opts : Api.compile_opts)
       let* c =
         Compilers.Driver.compile_opts (Compilers.Driver.opts level) prog
       in
-      Ok (c, None)
+      Ok { cc = c; prov = None; artifact = Atomic.make None }
   | (Api.Search | Api.Ilp) as mode ->
       Atomic.incr t.compiles_computed;
       Atomic.incr t.plans_computed;
@@ -207,12 +234,12 @@ let compute t ~search_jobs ~level ~(opts : Api.compile_opts)
             Plan.Driver.compile_ilp ~search ~ilp ~cost prog
         | _ -> Plan.Driver.compile ~search ~cost prog
       in
-      Ok (c, Some prov)
+      Ok { cc = c; prov = Some prov; artifact = Atomic.make None }
 
 let cached_compile t ~search_jobs ~level ~opts ~target prog =
   let fingerprint = Ir.Prog.fingerprint prog in
   let* key = cache_key ~fingerprint ~level ~opts ~target in
-  let* c, prov =
+  let* entry =
     match Cache.find t.cache key with
     | Some v -> Ok v
     | None -> (
@@ -247,7 +274,7 @@ let cached_compile t ~search_jobs ~level ~opts ~target prog =
                 Cache.add t.cache key v;
                 Ok v))
   in
-  Ok (fingerprint, c, prov)
+  Ok (fingerprint, key, entry)
 
 (* Direct (in-process) entry for callers that already hold an
    elaborated program — the lazy frontend flushes through here.  Same
@@ -256,7 +283,10 @@ let cached_compile t ~search_jobs ~level ~opts ~target prog =
 let compile_ir t ~(opts : Api.compile_opts) ~target prog =
   let r =
     let* level = Api.level_of_name opts.Api.level in
-    cached_compile t ~search_jobs:t.pool_jobs ~level ~opts ~target prog
+    let* fingerprint, _key, entry =
+      cached_compile t ~search_jobs:t.pool_jobs ~level ~opts ~target prog
+    in
+    Ok (fingerprint, entry.cc, entry.prov)
   in
   sync_obs t;
   r
@@ -337,9 +367,10 @@ let compiled_of t ~search_jobs ~(opts : Api.compile_opts) ~target source =
     if opts.Api.merge then Core.Merge.run prog else (prog, [])
   in
   let* level = Api.level_of_name opts.Api.level in
-  let* fingerprint, c, prov =
+  let* fingerprint, key, entry =
     cached_compile t ~search_jobs ~level ~opts ~target prog
   in
+  let c = entry.cc in
   let c =
     if opts.Api.simplify then
       Obs.span "simplify" (fun () ->
@@ -349,7 +380,12 @@ let compiled_of t ~search_jobs ~(opts : Api.compile_opts) ~target source =
           })
     else c
   in
-  Ok (prog, summary_of ~fingerprint ~merged_away ~opts prog c, c, prov)
+  Ok
+    ( prog,
+      summary_of ~fingerprint ~merged_away ~opts prog c,
+      c,
+      entry.prov,
+      (key, entry) )
 
 let perf_of ~(m : Machine.t) ~procs (c : Compilers.Driver.compiled) =
   let cfg = { Comm.Perf.machine = m; procs; comm = Comm.Model.all_on } in
@@ -408,6 +444,78 @@ let spmd_of ~(m : Machine.t) ~procs (r : Comm.Perf.report)
       Error (Diag.errorf ~phase:"spmd" "unsupported: %s" msg)
   | exception Spmd.Runtime_error msg -> Error (Diag.error ~phase:"spmd" msg)
 
+(* ------------------------------------------------------------------ *)
+(* Native execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The artifact for a cache entry, building it at most once.  Fast
+   path: the entry's own slot (a plain atomic read).  Cold path:
+   coalesce concurrent builders of the same plan on the inflight table
+   (same discipline as compiles, under a "native:"-prefixed key so a
+   build never blocks a compile of the same key), then consult the
+   content-addressed store — which may still answer without compiling,
+   from its memo or from an artifact a previous process left on
+   disk. *)
+let native_artifact t ~key (entry : cached) =
+  let reuse a =
+    Atomic.incr t.natives_reused;
+    Ok a
+  in
+  match Atomic.get entry.artifact with
+  | Some a -> reuse a
+  | None -> (
+      Mutex.lock t.inflight_lock;
+      let ks = "native:" ^ Cache.key_to_string key in
+      while Hashtbl.mem t.inflight ks do
+        Condition.wait t.inflight_cond t.inflight_lock
+      done;
+      match Atomic.get entry.artifact with
+      | Some a ->
+          Mutex.unlock t.inflight_lock;
+          reuse a
+      | None ->
+          Hashtbl.add t.inflight ks ();
+          Mutex.unlock t.inflight_lock;
+          let release () =
+            Mutex.lock t.inflight_lock;
+            Hashtbl.remove t.inflight ks;
+            Condition.broadcast t.inflight_cond;
+            Mutex.unlock t.inflight_lock
+          in
+          Fun.protect ~finally:release (fun () ->
+              match
+                Native.Store.get t.native_store entry.cc.Compilers.Driver.code
+              with
+              | Ok (a, fresh) ->
+                  Atomic.set entry.artifact (Some a);
+                  if fresh then begin
+                    Atomic.incr t.natives_built;
+                    Native.Toolchain.note_obs ()
+                  end
+                  else Atomic.incr t.natives_reused;
+                  Ok a
+              | Error e ->
+                  Error
+                    (Diag.error ~phase:"native"
+                       (Native.Build.error_to_string e))))
+
+let native_of t ~key ~(perf : Api.perf) entry =
+  let* a = native_artifact t ~key entry in
+  Atomic.incr t.native_runs;
+  match Native.Build.run_exe a.Native.Store.runner with
+  | Ok r ->
+      Ok
+        {
+          Api.native_checksum = r.Native.Build.checksum;
+          native_wall_ns = r.Native.Build.wall_ns;
+          native_compiler = a.Native.Store.compiler;
+          native_units = a.Native.Store.units;
+          native_matches =
+            String.equal r.Native.Build.checksum perf.Api.checksum;
+        }
+  | Error e ->
+      Error (Diag.error ~phase:"native" (Native.Build.error_to_string e))
+
 let of_result = function Ok r -> r | Error d -> Api.Failed d
 
 (* [search_jobs] is the domain budget of a cold planner search;
@@ -419,7 +527,7 @@ let rec exec t ~search_jobs ~in_worker req =
   | Api.Compile { source; opts; target } ->
       Atomic.incr t.req_compile;
       of_result
-        (let* _, summary, _, provenance =
+        (let* _, summary, _, provenance, _ =
            compiled_of t ~search_jobs ~opts ~target source
          in
          Ok (Api.Compiled { summary; provenance }))
@@ -428,14 +536,14 @@ let rec exec t ~search_jobs ~in_worker req =
       (* a Plan response always carries the rendered plan *)
       let opts = { opts with Api.dump_plan = true } in
       of_result
-        (let* _, summary, _, provenance =
+        (let* _, summary, _, provenance, _ =
            compiled_of t ~search_jobs ~opts ~target source
          in
          Ok (Api.Planned { summary; provenance }))
-  | Api.Run { source; opts; target; spmd } ->
+  | Api.Run { source; opts; target; spmd; native } ->
       Atomic.incr t.req_run;
       of_result
-        (let* _, summary, c, provenance =
+        (let* _, summary, c, provenance, (key, entry) =
            compiled_of t ~search_jobs ~opts ~target source
          in
          let* m = Api.machine_of_name target.Api.machine in
@@ -445,7 +553,12 @@ let rec exec t ~search_jobs ~in_worker req =
              Result.map Option.some (spmd_of ~m ~procs:target.Api.procs r c)
            else Ok None
          in
-         Ok (Api.Ran { summary; provenance; perf; spmd }))
+         let* native =
+           if native then
+             Result.map Option.some (native_of t ~key ~perf entry)
+           else Ok None
+         in
+         Ok (Api.Ran { summary; provenance; perf; spmd; native }))
   | Api.Batch reqs ->
       Atomic.incr t.req_batch;
       if in_worker then

@@ -9,7 +9,13 @@
     memoized in a sharded LRU ({!Cache}), so a warm engine serves
     [--plan search] requests without re-running the search (the
     ["service.plan.computed"] counter stays flat — the proof the bench
-    and CI smoke assert).
+    and CI smoke assert).  A [Run {native = true}] additionally
+    compiles the plan's emitted C into a runner executable,
+    content-addressed in a {!Native.Store} and slotted next to the
+    plan in the same cache entry, so a warm engine re-executes native
+    code with zero [cc] invocations (["service.native.build"] stays
+    flat); concurrent first builds of one plan coalesce exactly like
+    concurrent compiles.
 
     Determinism: responses are a pure function of the request — cache
     state, domain count and request interleaving never leak into a
@@ -23,11 +29,17 @@
 
 type t
 
-val create : ?shards:int -> ?capacity:int -> ?jobs:int -> unit -> t
+val create :
+  ?shards:int -> ?capacity:int -> ?jobs:int -> ?native_root:string -> unit -> t
 (** [shards]/[capacity] size the plan cache (defaults as
     {!Cache.create}); [jobs] (default
     [Support.Pool.default_domains ()]) bounds the domains used for
-    [Batch] fan-out and search-planner candidate costing. *)
+    [Batch] fan-out and search-planner candidate costing;
+    [native_root] (default {!Native.Store.default_root}) is where
+    native artifacts are content-addressed — each cache entry carries
+    its artifact next to the plan, and a root that survives restarts
+    lets a fresh engine adopt previously compiled runners without
+    invoking [cc]. *)
 
 val jobs : t -> int
 

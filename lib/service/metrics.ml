@@ -26,6 +26,13 @@ let cache_insertion = "service.cache.insertion"
 let compile_computed = "service.compile.computed"
 let plan_computed = "service.plan.computed"
 
+(* native artifact cache: a build is a cold cc compile+link, a reuse
+   is an artifact served from the per-plan slot, the store memo, or
+   adopted from disk; a run is one execution of a runner *)
+let native_build = "service.native.build"
+let native_reuse = "service.native.reuse"
+let native_run = "service.native.run"
+
 (* protocol-level failures (undecodable request lines) *)
 let protocol_error = "service.protocol.error"
 
@@ -43,5 +50,8 @@ let all =
     cache_insertion;
     compile_computed;
     plan_computed;
+    native_build;
+    native_reuse;
+    native_run;
     protocol_error;
   ]

@@ -31,6 +31,18 @@ val plan_computed : string
     cache amortizes; warm replays leaving this at zero prove search
     requests are served without re-planning. *)
 
+val native_build : string
+(** Cold native builds: one cc compile-and-link of a plan's emitted C
+    units.  Warm replays leaving this at zero prove native runs are
+    served from the artifact cache without recompiling. *)
+
+val native_reuse : string
+(** Native artifacts served without a build — from the per-plan slot,
+    the store memo, or adopted from a previous process's store. *)
+
+val native_run : string
+(** Executions of a native runner (each run is one subprocess). *)
+
 val protocol_error : string
 
 val all : string list

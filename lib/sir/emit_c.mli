@@ -21,3 +21,35 @@ val emit : Format.formatter -> Code.program -> unit
     accessor macros, [hashrand], [main]). *)
 
 val to_string : Code.program -> string
+
+(** {1 Multi-unit emission (the native execution engine)}
+
+    The native engine compiles a planned program as one translation
+    unit {e per fused cluster} plus a driver: each outermost loop nest
+    of the scalarized code (together with the scalar assignments that
+    set it up — reduction initializations and the like) becomes
+    [cluster_<k>.c] defining [void cluster_<k>(void)], a shared
+    [prog.h] declares the array storage, accessor macros and the
+    bit-exact helpers, and [main.c] defines the storage, calls the
+    clusters in program order under a [CLOCK_MONOTONIC] stopwatch, and
+    prints the runner protocol line:
+
+    {v <16-hex live-out digest> <wall nanoseconds> v}
+
+    The digest is byte-identical to the single-unit backend's (and to
+    {!Exec.Interp.checksum}); the second field is what the native
+    benches measure. *)
+
+type unit_file = {
+  filename : string;  (** ["prog.h"], ["cluster_<k>.c"] or ["main.c"] *)
+  contents : string;
+}
+
+val to_units : Code.program -> unit_file list
+(** The complete multi-unit program, header first, driver last.  The
+    number of [cluster_<k>.c] entries is the number of fused clusters
+    (outermost loop nests, counting a trailing scalar epilogue as one
+    more). *)
+
+val cluster_count : Code.program -> int
+(** How many cluster units {!to_units} will emit. *)

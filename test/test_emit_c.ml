@@ -1,40 +1,14 @@
 (* Differential testing against a real C compiler: the emitted C
-   program must print exactly the interpreter's checksum. *)
+   program must print exactly the interpreter's checksum.  Compilation
+   goes through [Native.Build] (argv arrays, multi-unit emission) —
+   no shell ever parses a path here. *)
 
-let cc_available =
-  Sys.command "cc --version > /dev/null 2>&1" = 0
+let cc_available = Native.Toolchain.available ()
 
 let run_c code =
-  let dir = Filename.temp_file "fuzion" "" in
-  Sys.remove dir;
-  Unix.mkdir dir 0o755;
-  let c_path = Filename.concat dir "prog.c" in
-  let exe_path = Filename.concat dir "prog" in
-  let out_path = Filename.concat dir "out" in
-  let oc = open_out c_path in
-  output_string oc (Sir.Emit_c.to_string code);
-  close_out oc;
-  let compile_cmd =
-    Printf.sprintf "cc -O2 -o %s %s -lm 2> %s.cerr"
-      (Filename.quote exe_path) (Filename.quote c_path)
-      (Filename.quote out_path)
-  in
-  if Sys.command compile_cmd <> 0 then begin
-    let ic = open_in (out_path ^ ".cerr") in
-    let err = really_input_string ic (min 2000 (in_channel_length ic)) in
-    close_in ic;
-    Alcotest.failf "cc failed:\n%s" err
-  end;
-  if
-    Sys.command
-      (Printf.sprintf "%s > %s" (Filename.quote exe_path)
-         (Filename.quote out_path))
-    <> 0
-  then Alcotest.fail "compiled program crashed";
-  let ic = open_in out_path in
-  let line = input_line ic in
-  close_in ic;
-  String.trim line
+  match Native.Build.run_once ~salt:(Hashtbl.hash code) code with
+  | Ok r -> r.Native.Build.checksum
+  | Error e -> Alcotest.fail (Native.Build.error_to_string e)
 
 let check_program name prog =
   if cc_available then

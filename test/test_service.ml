@@ -231,6 +231,7 @@ let sample_requests =
         opts = Api.default_compile_opts;
         target = Api.default_target;
         spmd = true;
+        native = false;
       };
     Api.Plan
       {
@@ -327,6 +328,15 @@ let sample_spmd =
     report = Obs.Json.Obj [ ("supersteps", Obs.Json.Int 13) ];
   }
 
+let sample_native =
+  {
+    Api.native_checksum = "308149a4cb0e1adc";
+    native_wall_ns = 57049L;
+    native_compiler = "cc (Debian 12.2.0) 12.2.0";
+    native_units = 13;
+    native_matches = true;
+  }
+
 let sample_responses =
   [
     Api.Compiled { summary = sample_summary; provenance = Some sample_provenance };
@@ -337,6 +347,7 @@ let sample_responses =
         provenance = None;
         perf = sample_perf;
         spmd = Some sample_spmd;
+        native = None;
       };
     Api.Ran
       {
@@ -344,6 +355,7 @@ let sample_responses =
         provenance = Some sample_provenance;
         perf = { sample_perf with Api.l2_miss_pct = None };
         spmd = None;
+        native = Some sample_native;
       };
     Api.Planned { summary = sample_summary; provenance = Some sample_provenance };
     Api.Batch_reply [ Api.Shutting_down; Api.Failed (Obs.Diagnostic.error ~phase:"cli" "boom") ];
@@ -362,6 +374,9 @@ let sample_responses =
           };
         compiles_computed = 2;
         plans_computed = 1;
+        natives_built = 1;
+        natives_reused = 3;
+        native_runs = 4;
       };
     Api.Shutting_down;
     Api.Failed (Obs.Diagnostic.error ~loc:("x.zap", 3) ~phase:"parse" "bad token");
@@ -440,6 +455,7 @@ let greedy_run =
       opts = Api.default_compile_opts;
       target = Api.default_target;
       spmd = false;
+      native = false;
     }
 
 let search_compile =
